@@ -1,0 +1,455 @@
+package sgfs
+
+// Benchmarks regenerating every figure of the paper's evaluation
+// (§6; the paper has no numbered tables — Figures 4-10 carry all
+// results) plus ablations of the design choices called out in
+// DESIGN.md. Workload sizes here are the quick scale so `go test
+// -bench=.` completes in minutes; `cmd/sgfs-bench` runs the
+// full-scale sweeps and prints paper-style series.
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/gridsec"
+	"repro/internal/securechan"
+)
+
+// benchIOzone is the per-iteration IOzone configuration.
+var benchIOzone = bench.IOzoneConfig{FileSize: 8 << 20, RecordSize: 32 * 1024, Passes: 2}
+
+var benchPostmark = bench.PostmarkConfig{Directories: 10, Files: 50, Transactions: 100}
+
+var benchMAB = bench.MABConfig{Dirs: 6, Files: 60, Outputs: 26, CompileCPU: 200 * time.Microsecond}
+
+var benchSeismic = bench.SeismicConfig{TraceBytes: 4 << 20, ComputeScale: 0.2}
+
+const benchClientCache = 2 << 20 // keeps the IOzone file >> client cache
+
+func buildOrSkip(b *testing.B, cfg bench.StackConfig) *bench.Stack {
+	b.Helper()
+	st, err := bench.BuildStack(cfg)
+	if err != nil {
+		b.Fatalf("build %s: %v", cfg.Setup, err)
+	}
+	return st
+}
+
+// BenchmarkFig4IOzone regenerates Figure 4: IOzone read/reread runtime
+// across every file system setup in LAN.
+func BenchmarkFig4IOzone(b *testing.B) {
+	for _, setup := range bench.AllLANSetups {
+		setup := setup
+		b.Run(string(setup), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, bench.StackConfig{Setup: setup, ClientCacheBytes: benchClientCache})
+				if err := bench.PreloadIOzoneFile(st, benchIOzone); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := bench.RunIOzone(context.Background(), st.FS, benchIOzone); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				st.Close()
+				b.StartTimer()
+			}
+			b.SetBytes(int64(benchIOzone.FileSize) * int64(benchIOzone.Passes))
+		})
+	}
+}
+
+// BenchmarkFig56ProxyCPU regenerates Figures 5 and 6 as aggregate
+// metrics: the client- and server-side proxy/daemon busy percentage
+// during the IOzone run.
+func BenchmarkFig56ProxyCPU(b *testing.B) {
+	for _, setup := range []bench.Setup{bench.SetupGFS, bench.SetupSGFSSHA, bench.SetupSGFSRC, bench.SetupSGFSAES, bench.SetupSFS} {
+		setup := setup
+		b.Run(string(setup), func(b *testing.B) {
+			var clientPct, serverPct float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, bench.StackConfig{Setup: setup, ClientCacheBytes: benchClientCache})
+				if err := bench.PreloadIOzoneFile(st, benchIOzone); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				start := time.Now()
+				if _, err := bench.RunIOzone(context.Background(), st.FS, benchIOzone); err != nil {
+					b.Fatal(err)
+				}
+				elapsed := time.Since(start)
+				b.StopTimer()
+				clientPct = st.ClientMeter.Busy().Seconds() / elapsed.Seconds() * 100
+				serverPct = st.ServerMeter.Busy().Seconds() / elapsed.Seconds() * 100
+				st.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(clientPct, "client-busy-%")
+			b.ReportMetric(serverPct, "server-busy-%")
+		})
+	}
+}
+
+// BenchmarkFig7Postmark regenerates Figure 7: PostMark phases in LAN.
+func BenchmarkFig7Postmark(b *testing.B) {
+	for _, setup := range []bench.Setup{bench.SetupNFSv3, bench.SetupNFSv4, bench.SetupSFS, bench.SetupSGFSAES, bench.SetupGFSSSH} {
+		setup := setup
+		b.Run(string(setup), func(b *testing.B) {
+			var last bench.PostmarkResult
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, bench.StackConfig{Setup: setup})
+				b.StartTimer()
+				res, err := bench.RunPostmark(context.Background(), st.FS, benchPostmark)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+				b.StopTimer()
+				st.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(last.Creation.Seconds(), "creation-s")
+			b.ReportMetric(last.Transaction.Seconds(), "transaction-s")
+			b.ReportMetric(last.Deletion.Seconds(), "deletion-s")
+		})
+	}
+}
+
+// BenchmarkFig8PostmarkWAN regenerates Figure 8: PostMark total
+// runtime vs RTT, nfs-v3 against sgfs with disk caching.
+func BenchmarkFig8PostmarkWAN(b *testing.B) {
+	for _, rttMS := range []int{5, 10, 20, 40, 80} {
+		for _, mode := range []struct {
+			name string
+			cfg  bench.StackConfig
+		}{
+			{"nfs-v3", bench.StackConfig{Setup: bench.SetupNFSv3}},
+			{"sgfs", bench.StackConfig{Setup: bench.SetupSGFSAES, DiskCache: true}},
+		} {
+			mode := mode
+			rtt := time.Duration(rttMS) * time.Millisecond
+			b.Run(fmt.Sprintf("%s/rtt=%dms", mode.name, rttMS), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cfg := mode.cfg
+					cfg.RTT = rtt
+					st := buildOrSkip(b, cfg)
+					b.StartTimer()
+					if _, err := bench.RunPostmark(context.Background(), st.FS, benchPostmark); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					st.Close()
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig9MAB regenerates Figure 9: MAB phases, LAN and
+// 40ms-RTT WAN.
+func BenchmarkFig9MAB(b *testing.B) {
+	rows := []struct {
+		name string
+		cfg  bench.StackConfig
+	}{
+		{"nfs-v3-LAN", bench.StackConfig{Setup: bench.SetupNFSv3}},
+		{"sgfs-LAN", bench.StackConfig{Setup: bench.SetupSGFSAES}},
+		{"nfs-v3-WAN40ms", bench.StackConfig{Setup: bench.SetupNFSv3, RTT: 40 * time.Millisecond}},
+		{"sgfs-WAN40ms", bench.StackConfig{Setup: bench.SetupSGFSAES, RTT: 40 * time.Millisecond, DiskCache: true}},
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(row.name, func(b *testing.B) {
+			var last bench.MABResult
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, row.cfg)
+				if err := bench.SeedMABSource(st, benchMAB); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := bench.RunMAB(context.Background(), st.FS, benchMAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+				b.StopTimer()
+				if st.Flush != nil {
+					if err := st.Flush(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(last.Copy.Seconds(), "copy-s")
+			b.ReportMetric(last.Stat.Seconds(), "stat-s")
+			b.ReportMetric(last.Search.Seconds(), "search-s")
+			b.ReportMetric(last.Compile.Seconds(), "compile-s")
+		})
+	}
+}
+
+// BenchmarkFig10Seismic regenerates Figure 10: Seismic phases, LAN
+// and 40ms-RTT WAN.
+func BenchmarkFig10Seismic(b *testing.B) {
+	rows := []struct {
+		name string
+		cfg  bench.StackConfig
+	}{
+		{"nfs-v3-LAN", bench.StackConfig{Setup: bench.SetupNFSv3}},
+		{"sgfs-LAN", bench.StackConfig{Setup: bench.SetupSGFSAES}},
+		{"nfs-v3-WAN40ms", bench.StackConfig{Setup: bench.SetupNFSv3, RTT: 40 * time.Millisecond}},
+		{"sgfs-WAN40ms", bench.StackConfig{Setup: bench.SetupSGFSAES, RTT: 40 * time.Millisecond, DiskCache: true}},
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(row.name, func(b *testing.B) {
+			var last bench.SeismicResult
+			var writeback time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, row.cfg)
+				b.StartTimer()
+				res, err := bench.RunSeismic(context.Background(), st.FS, benchSeismic)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+				b.StopTimer()
+				if st.Flush != nil {
+					fs := time.Now()
+					if err := st.Flush(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+					writeback = time.Since(fs)
+				}
+				st.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(last.Phase1.Seconds(), "phase1-s")
+			b.ReportMetric(last.Phase2.Seconds(), "phase2-s")
+			b.ReportMetric(last.Phase3.Seconds(), "phase3-s")
+			b.ReportMetric(last.Phase4.Seconds(), "phase4-s")
+			b.ReportMetric(writeback.Seconds(), "writeback-s")
+		})
+	}
+}
+
+// --- Ablations ---------------------------------------------------------
+
+// BenchmarkAblationPipelining compares the paper's blocking (serial)
+// server proxy against the multithreaded one on the IOzone read path.
+func BenchmarkAblationPipelining(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		sequential bool
+	}{{"multithreaded", false}, {"blocking", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, bench.StackConfig{
+					Setup: bench.SetupSGFSRC, Sequential: mode.sequential,
+					ClientCacheBytes: benchClientCache,
+				})
+				if err := bench.PreloadIOzoneFile(st, benchIOzone); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := bench.RunIOzone(context.Background(), st.FS, benchIOzone); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				st.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLANDiskCache measures the paper's §6.3.1 note: MAB
+// compile in LAN with the disk cache enabled closes most of the gap
+// to nfs-v3.
+func BenchmarkAblationLANDiskCache(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		dc   bool
+	}{{"nocache", false}, {"diskcache", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, bench.StackConfig{Setup: bench.SetupSGFSAES, DiskCache: mode.dc})
+				if err := bench.SeedMABSource(st, benchMAB); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := bench.RunMAB(context.Background(), st.FS, benchMAB); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if st.Flush != nil {
+					st.Flush(context.Background())
+				}
+				st.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWriteback isolates write-back cancellation: the
+// Seismic run over WAN with and without the disk cache. With it, the
+// removed temporaries never cross the WAN.
+func BenchmarkAblationWriteback(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		dc   bool
+	}{{"writethrough", false}, {"writeback", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, bench.StackConfig{
+					Setup: bench.SetupSGFSAES, RTT: 20 * time.Millisecond, DiskCache: mode.dc,
+				})
+				b.StartTimer()
+				if _, err := bench.RunSeismic(context.Background(), st.FS, benchSeismic); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if st.Flush != nil {
+					st.Flush(context.Background())
+				}
+				st.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationACLCache measures §4.3's in-memory ACL caching on
+// an ACCESS-heavy workload (repeated stats of ACL-protected files).
+func BenchmarkAblationACLCache(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"cached", false}, {"uncached", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, bench.StackConfig{
+					Setup: bench.SetupSGFSAES, FineGrained: true, DisableACLCache: mode.disable,
+				})
+				b.StartTimer()
+				if _, err := bench.RunPostmark(context.Background(), st.FS, benchPostmark); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				st.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRekey measures the cost of periodic session-key
+// renegotiation on channel throughput.
+func BenchmarkAblationRekey(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		interval time.Duration
+	}{{"none", 0}, {"every50ms", 50 * time.Millisecond}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := buildOrSkip(b, bench.StackConfig{
+					Setup: bench.SetupSGFSAES, RekeyInterval: mode.interval,
+					ClientCacheBytes: benchClientCache,
+				})
+				if err := bench.PreloadIOzoneFile(st, benchIOzone); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := bench.RunIOzone(context.Background(), st.FS, benchIOzone); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				st.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkSecureChannelSuites is a microbenchmark of the raw channel
+// throughput per cipher suite — the crypto cost underlying the
+// sgfs-sha / sgfs-rc / sgfs-aes spread of Figure 4.
+func BenchmarkSecureChannelSuites(b *testing.B) {
+	ca, err := gridsec.NewCA("Bench CA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, _ := ca.IssueUser("u")
+	host, _ := ca.IssueHost("h")
+	payload := make([]byte, 64*1024)
+	rand.Read(payload)
+
+	for _, suite := range []securechan.Suite{securechan.SuiteNullSHA1, securechan.SuiteRC4SHA1, securechan.SuiteAES256SHA1} {
+		suite := suite
+		b.Run(suite.String(), func(b *testing.B) {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				raw, err := l.Accept()
+				if err != nil {
+					return
+				}
+				sc, err := securechan.Server(raw, &securechan.Config{
+					Credential: host, Roots: ca.Pool(), Suites: []securechan.Suite{suite}})
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, sc)
+			}()
+			raw, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc, err := securechan.Client(raw, &securechan.Config{
+				Credential: user, Roots: ca.Pool(), Suites: []securechan.Suite{suite}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.Write(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sc.Close()
+			<-done
+		})
+	}
+}

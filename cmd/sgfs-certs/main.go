@@ -1,0 +1,184 @@
+// Command sgfs-certs manages the PKI of an SGFS grid: it creates a
+// certificate authority, issues user and host identity certificates,
+// and generates short-lived GSI-style proxy certificates for
+// delegation.
+//
+// Usage:
+//
+//	sgfs-certs ca -org "My Grid" -out ./pki
+//	sgfs-certs user -name alice -ca ./pki -out ./pki
+//	sgfs-certs host -name fs1.grid -ca ./pki -out ./pki
+//	sgfs-certs proxy -cert ./pki/alice.pem -key ./pki/alice.key -ttl 12h -out ./pki
+//	sgfs-certs show -cert ./pki/alice.pem
+package main
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/gridsec"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "ca":
+		err = cmdCA(os.Args[2:])
+	case "user", "host":
+		err = cmdIssue(os.Args[1], os.Args[2:])
+	case "proxy":
+		err = cmdProxy(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgfs-certs:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sgfs-certs {ca|user|host|proxy|show} [flags]")
+	os.Exit(2)
+}
+
+func cmdCA(args []string) error {
+	fs := flag.NewFlagSet("ca", flag.ExitOnError)
+	org := fs.String("org", "SGFS Grid", "organization name")
+	out := fs.String("out", ".", "output directory")
+	fs.Parse(args)
+	ca, err := gridsec.NewCA(*org)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0700); err != nil {
+		return err
+	}
+	// The CA credential is persisted so user/host issuance can reload
+	// it; a production CA would keep the key offline.
+	caCred := &gridsec.Credential{Cert: ca.Cert, Key: ca.Key, Chain: []*x509.Certificate{ca.Cert}}
+	if err := caCred.SavePEM(filepath.Join(*out, "ca.pem"), filepath.Join(*out, "ca.key")); err != nil {
+		return err
+	}
+	fmt.Printf("created CA %q\n  cert: %s\n  key:  %s\n", gridsec.DN(ca.Cert),
+		filepath.Join(*out, "ca.pem"), filepath.Join(*out, "ca.key"))
+	return nil
+}
+
+func loadCA(dir string) (*gridsec.CA, error) {
+	cred, err := gridsec.LoadPEM(filepath.Join(dir, "ca.pem"), filepath.Join(dir, "ca.key"))
+	if err != nil {
+		return nil, fmt.Errorf("load CA from %s: %w", dir, err)
+	}
+	return &gridsec.CA{Cert: cred.Cert, Key: cred.Key}, nil
+}
+
+func cmdIssue(kind string, args []string) error {
+	fs := flag.NewFlagSet(kind, flag.ExitOnError)
+	name := fs.String("name", "", "common name")
+	caDir := fs.String("ca", ".", "CA directory (ca.pem, ca.key)")
+	out := fs.String("out", ".", "output directory")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	ca, err := loadCA(*caDir)
+	if err != nil {
+		return err
+	}
+	var cred *gridsec.Credential
+	if kind == "user" {
+		cred, err = ca.IssueUser(*name)
+	} else {
+		cred, err = ca.IssueHost(*name)
+	}
+	if err != nil {
+		return err
+	}
+	certPath := filepath.Join(*out, *name+".pem")
+	keyPath := filepath.Join(*out, *name+".key")
+	if err := cred.SavePEM(certPath, keyPath); err != nil {
+		return err
+	}
+	fmt.Printf("issued %s certificate\n  DN:   %s\n  cert: %s\n  key:  %s\n",
+		kind, cred.DN(), certPath, keyPath)
+	return nil
+}
+
+func cmdProxy(args []string) error {
+	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
+	certPath := fs.String("cert", "", "identity certificate")
+	keyPath := fs.String("key", "", "identity private key")
+	ttl := fs.Duration("ttl", 12*time.Hour, "proxy lifetime")
+	out := fs.String("out", ".", "output directory")
+	fs.Parse(args)
+	if *certPath == "" || *keyPath == "" {
+		return fmt.Errorf("-cert and -key are required")
+	}
+	cred, err := gridsec.LoadPEM(*certPath, *keyPath)
+	if err != nil {
+		return err
+	}
+	proxy, err := cred.IssueProxy(*ttl)
+	if err != nil {
+		return err
+	}
+	base := filepath.Base(*certPath)
+	pc := filepath.Join(*out, "proxy-"+base)
+	pk := filepath.Join(*out, "proxy-"+filepath.Base(*keyPath))
+	if err := proxy.SavePEM(pc, pk); err != nil {
+		return err
+	}
+	fmt.Printf("issued proxy certificate (valid %v)\n  DN:        %s\n  effective: %s\n  cert: %s\n  key:  %s\n",
+		*ttl, proxy.DN(), proxy.EffectiveDN(), pc, pk)
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	certPath := fs.String("cert", "", "certificate file")
+	fs.Parse(args)
+	if *certPath == "" {
+		return fmt.Errorf("-cert is required")
+	}
+	data, err := os.ReadFile(*certPath)
+	if err != nil {
+		return err
+	}
+	var chain []*x509.Certificate
+	for {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			break
+		}
+		if block.Type != "CERTIFICATE" {
+			continue
+		}
+		cert, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			return fmt.Errorf("parse %s: %v", *certPath, err)
+		}
+		chain = append(chain, cert)
+	}
+	if len(chain) == 0 {
+		return fmt.Errorf("no certificates in %s", *certPath)
+	}
+	fmt.Printf("DN:        %s\n", gridsec.DN(chain[0]))
+	fmt.Printf("effective: %s\n", gridsec.DN(chain[len(chain)-1]))
+	fmt.Printf("chain:     %d certificate(s)\n", len(chain))
+	for i, c := range chain {
+		fmt.Printf("  [%d] %s  (not after %s)\n", i, gridsec.DN(c), c.NotAfter.Format(time.RFC3339))
+	}
+	return nil
+}

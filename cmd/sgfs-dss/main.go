@@ -1,0 +1,64 @@
+// Command sgfs-dss runs the Data Scheduler Service: the grid-facing
+// management endpoint that authorizes users against its per-filesystem
+// access database, generates session gridmaps, and orchestrates the
+// client- and server-side File System Services to establish SGFS
+// sessions on users' behalf.
+//
+// Usage:
+//
+//	sgfs-dss -cert dss.pem -key dss.key -ca ca.pem \
+//	    -listen :8400 -db /var/lib/sgfs/dss.json \
+//	    -admins "/C=US/O=Grid/OU=users/CN=admin"
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/gridsec"
+	"repro/internal/services"
+)
+
+func main() {
+	certPath := flag.String("cert", "", "service certificate PEM")
+	keyPath := flag.String("key", "", "service key PEM")
+	caPath := flag.String("ca", "", "trusted CA PEM")
+	listen := flag.String("listen", ":8400", "HTTP listen address")
+	dbPath := flag.String("db", "dss.json", "access database path")
+	admins := flag.String("admins", "", "comma-separated admin DNs")
+	flag.Parse()
+
+	cred, err := gridsec.LoadPEM(*certPath, *keyPath)
+	if err != nil {
+		log.Fatalf("sgfs-dss: %v", err)
+	}
+	roots, err := gridsec.LoadCAPool(*caPath)
+	if err != nil {
+		log.Fatalf("sgfs-dss: %v", err)
+	}
+	caPEM, err := os.ReadFile(*caPath)
+	if err != nil {
+		log.Fatalf("sgfs-dss: %v", err)
+	}
+	var adminList []string
+	for _, dn := range strings.Split(*admins, ",") {
+		if dn = strings.TrimSpace(dn); dn != "" {
+			adminList = append(adminList, dn)
+		}
+	}
+	dss, err := services.NewDSS(services.DSSConfig{
+		Credential:  cred,
+		Roots:       roots,
+		Admins:      adminList,
+		DBPath:      *dbPath,
+		CABundlePEM: string(caPEM),
+	})
+	if err != nil {
+		log.Fatalf("sgfs-dss: %v", err)
+	}
+	log.Printf("sgfs-dss: serving on %s as %s (%d admins)", *listen, cred.DN(), len(adminList))
+	log.Fatal(http.ListenAndServe(*listen, dss))
+}

@@ -1,0 +1,60 @@
+// Command sgfs-fss runs the File System Service on a host: the
+// WSRF-style management endpoint that creates, configures and
+// destroys the SGFS proxy sessions on this machine, driven by
+// WS-Security-signed SOAP requests from the Data Scheduler Service or
+// an administrator.
+//
+// Usage:
+//
+//	sgfs-fss -cert fss.pem -key fss.key -ca ca.pem \
+//	    -listen :8401 -authorized "/C=US/O=Grid/OU=hosts/CN=dss,/C=US/O=Grid/OU=users/CN=admin"
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/gridsec"
+	"repro/internal/services"
+)
+
+func main() {
+	certPath := flag.String("cert", "", "service certificate PEM")
+	keyPath := flag.String("key", "", "service key PEM")
+	caPath := flag.String("ca", "", "trusted CA PEM")
+	listen := flag.String("listen", ":8401", "HTTP listen address")
+	authorized := flag.String("authorized", "", "comma-separated DNs allowed to call this FSS (empty = any trusted DN)")
+	workDir := flag.String("workdir", "", "session working directory")
+	flag.Parse()
+
+	cred, err := gridsec.LoadPEM(*certPath, *keyPath)
+	if err != nil {
+		log.Fatalf("sgfs-fss: %v", err)
+	}
+	roots, err := gridsec.LoadCAPool(*caPath)
+	if err != nil {
+		log.Fatalf("sgfs-fss: %v", err)
+	}
+	var authz func(string) bool
+	if *authorized != "" {
+		allowed := map[string]bool{}
+		for _, dn := range strings.Split(*authorized, ",") {
+			allowed[strings.TrimSpace(dn)] = true
+		}
+		authz = func(dn string) bool { return allowed[dn] }
+	}
+	fss, err := services.NewFSS(services.FSSConfig{
+		Credential: cred,
+		Roots:      roots,
+		Authorize:  authz,
+		WorkDir:    *workDir,
+	})
+	if err != nil {
+		log.Fatalf("sgfs-fss: %v", err)
+	}
+	defer fss.Close()
+	log.Printf("sgfs-fss: serving on %s as %s", *listen, cred.DN())
+	log.Fatal(http.ListenAndServe(*listen, fss))
+}

@@ -1,0 +1,82 @@
+// Command sgfs-server runs a complete SGFS server side on one host:
+// a user-level NFSv3+MOUNT server exporting a local directory
+// (localhost-only, per the paper's least-privilege deployment, §5)
+// fronted by the GSI-authenticating server proxy.
+//
+// Usage:
+//
+//	sgfs-server -export /GFS/alice -data /srv/alice \
+//	    -cert host.pem -key host.key -ca ca.pem \
+//	    -gridmap gridmap -accounts accounts -listen 0.0.0.0:30049
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro"
+	"repro/internal/gridmap"
+	"repro/internal/idmap"
+)
+
+func main() {
+	export := flag.String("export", "/GFS/data", "export path name")
+	data := flag.String("data", "", "directory to export (in-memory FS when empty)")
+	certPath := flag.String("cert", "", "host certificate PEM")
+	keyPath := flag.String("key", "", "host key PEM")
+	caPath := flag.String("ca", "", "trusted CA PEM")
+	gridmapPath := flag.String("gridmap", "", "gridmap file (DN -> account)")
+	accountsPath := flag.String("accounts", "", "accounts file (name uid gid)")
+	listen := flag.String("listen", "127.0.0.1:30049", "proxy listen address")
+	fineGrained := flag.Bool("fine-grained", false, "enable per-file ACLs")
+	flag.Parse()
+
+	host, err := sgfs.LoadCredential(*certPath, *keyPath)
+	if err != nil {
+		log.Fatalf("sgfs-server: %v", err)
+	}
+	roots, err := sgfs.LoadCAPool(*caPath)
+	if err != nil {
+		log.Fatalf("sgfs-server: %v", err)
+	}
+	gm := map[string]string{}
+	if *gridmapPath != "" {
+		m, err := gridmap.Load(*gridmapPath, gridmap.Deny)
+		if err != nil {
+			log.Fatalf("sgfs-server: %v", err)
+		}
+		gm = m.Entries()
+	}
+	var accounts []sgfs.Account
+	if *accountsPath != "" {
+		t, err := idmap.LoadFile(*accountsPath)
+		if err != nil {
+			log.Fatalf("sgfs-server: %v", err)
+		}
+		accounts = t.All()
+	}
+
+	srv, err := sgfs.StartServer(sgfs.ServerConfig{
+		ExportPath:  *export,
+		DataDir:     *data,
+		Host:        host,
+		Roots:       roots,
+		Gridmap:     gm,
+		Accounts:    accounts,
+		FineGrained: *fineGrained,
+		Listen:      *listen,
+	})
+	if err != nil {
+		log.Fatalf("sgfs-server: %v", err)
+	}
+	log.Printf("sgfs-server: exporting %s on %s (%d gridmap entries)", *export, srv.Addr(), len(gm))
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	log.Printf("sgfs-server: shutting down")
+	srv.Close()
+}

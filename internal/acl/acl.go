@@ -1,0 +1,261 @@
+// Package acl implements SGFS's fine-grained grid access control
+// (§4.3): every file or directory may have an ACL file alongside it,
+// named in the style ".filename.acl", listing grid distinguished names
+// with permission bit masks. The server-side proxy evaluates these on
+// ACCESS requests, caches them in memory for performance, inherits a
+// parent's ACL when an object has no dedicated one, and shields ACL
+// files themselves from remote access.
+//
+// ACL file format, one entry per line:
+//
+//	"/C=US/O=SGFS Grid/OU=users/CN=alice" rwx
+//	"/C=US/O=SGFS Grid/OU=users/CN=bob"   r
+//	# or a raw NFSv3 ACCESS bit mask:
+//	"/C=US/O=SGFS Grid/OU=users/CN=carol" 0x2f
+package acl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vfs"
+)
+
+// Permission masks in NFSv3 ACCESS terms.
+const (
+	PermRead  = vfs.AccessRead | vfs.AccessLookup
+	PermWrite = vfs.AccessModify | vfs.AccessExtend | vfs.AccessDelete
+	PermExec  = vfs.AccessExecute
+	PermAll   = PermRead | PermWrite | PermExec
+)
+
+// ACL is the access control list of one object: DN → granted ACCESS
+// mask. A DN present with mask 0 is an explicit denial.
+type ACL struct {
+	entries map[string]uint32
+}
+
+// New creates an empty ACL.
+func New() *ACL { return &ACL{entries: make(map[string]uint32)} }
+
+// Parse reads ACL lines from r.
+func Parse(r io.Reader) (*ACL, error) {
+	a := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		dn, mask, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("acl: line %d: %w", lineNo, err)
+		}
+		a.entries[dn] = mask
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ParseBytes parses an ACL from a byte slice.
+func ParseBytes(b []byte) (*ACL, error) { return Parse(strings.NewReader(string(b))) }
+
+func parseLine(line string) (string, uint32, error) {
+	if !strings.HasPrefix(line, `"`) {
+		return "", 0, fmt.Errorf("DN must be quoted: %q", line)
+	}
+	end := strings.Index(line[1:], `"`)
+	if end < 0 {
+		return "", 0, fmt.Errorf("unterminated DN: %q", line)
+	}
+	dn := line[1 : 1+end]
+	spec := strings.TrimSpace(line[2+end:])
+	mask, err := ParsePerm(spec)
+	if err != nil {
+		return "", 0, err
+	}
+	return dn, mask, nil
+}
+
+// ParsePerm parses a permission spec: "rwx" letters (any subset, or
+// "-" for none) or a numeric ACCESS bit mask (decimal, 0x hex, 0
+// octal).
+func ParsePerm(spec string) (uint32, error) {
+	if spec == "" {
+		return 0, fmt.Errorf("missing permission spec")
+	}
+	if isLetterSpec(spec) {
+		var mask uint32
+		for _, c := range spec {
+			switch c {
+			case 'r':
+				mask |= PermRead
+			case 'w':
+				mask |= PermWrite
+			case 'x':
+				mask |= PermExec
+			case '-':
+			}
+		}
+		return mask, nil
+	}
+	v, err := strconv.ParseUint(spec, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad permission spec %q", spec)
+	}
+	return uint32(v), nil
+}
+
+func isLetterSpec(s string) bool {
+	for _, c := range s {
+		if c != 'r' && c != 'w' && c != 'x' && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatPerm renders a mask as rwx letters (approximating; exact
+// masks that don't decompose are emitted numerically).
+func FormatPerm(mask uint32) string {
+	var b strings.Builder
+	rest := mask
+	if mask&PermRead == PermRead {
+		b.WriteByte('r')
+		rest &^= PermRead
+	}
+	if mask&PermWrite == PermWrite {
+		b.WriteByte('w')
+		rest &^= PermWrite
+	}
+	if mask&PermExec == PermExec {
+		b.WriteByte('x')
+		rest &^= PermExec
+	}
+	if rest != 0 || b.Len() == 0 {
+		return fmt.Sprintf("%#x", mask)
+	}
+	return b.String()
+}
+
+// Grant sets the mask for a DN.
+func (a *ACL) Grant(dn string, mask uint32) { a.entries[dn] = mask }
+
+// Deny records an explicit zero-mask entry for a DN.
+func (a *ACL) Deny(dn string) { a.entries[dn] = 0 }
+
+// Remove deletes a DN's entry entirely.
+func (a *ACL) Remove(dn string) { delete(a.entries, dn) }
+
+// Check returns the ACCESS mask granted to dn. Per the paper, a user
+// absent from the ACL receives zero, "which disables all access
+// permissions".
+func (a *ACL) Check(dn string) uint32 {
+	if a == nil {
+		return 0
+	}
+	return a.entries[dn]
+}
+
+// Has reports whether dn appears explicitly.
+func (a *ACL) Has(dn string) bool {
+	_, ok := a.entries[dn]
+	return ok
+}
+
+// Len reports the number of entries.
+func (a *ACL) Len() int { return len(a.entries) }
+
+// Serialize renders the ACL in file format, sorted for stability.
+func (a *ACL) Serialize() []byte {
+	dns := make([]string, 0, len(a.entries))
+	for dn := range a.entries {
+		dns = append(dns, dn)
+	}
+	sort.Strings(dns)
+	var b strings.Builder
+	for _, dn := range dns {
+		fmt.Fprintf(&b, "%q %s\n", dn, FormatPerm(a.entries[dn]))
+	}
+	return []byte(b.String())
+}
+
+// FileName returns the ACL file name for an object name:
+// ".name.acl".
+func FileName(name string) string { return "." + name + ".acl" }
+
+// IsACLFile reports whether name is an ACL file. The server-side
+// proxy uses this to protect ACL files from remote access.
+func IsACLFile(name string) bool {
+	return strings.HasPrefix(name, ".") && strings.HasSuffix(name, ".acl") && len(name) > 5
+}
+
+// Cache is the server-side proxy's in-memory ACL cache, keyed by the
+// directory handle and object name the ACL governs. Entries are
+// invalidated when the proxy observes a write to the ACL file or a
+// management-service update.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[cacheKey]*ACL
+
+	hits, misses atomic.Uint64
+}
+
+type cacheKey struct {
+	dir  string // directory handle bytes
+	name string
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache { return &Cache{entries: make(map[cacheKey]*ACL)} }
+
+// Get returns a cached ACL. The returned present flag distinguishes
+// "cached as having no ACL" (nil, true) from "not cached" (nil,
+// false).
+func (c *Cache) Get(dir []byte, name string) (acl *ACL, present bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, ok := c.entries[cacheKey{string(dir), name}]
+	if ok {
+		c.hits.Add(1)
+		return a, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put caches an ACL (nil records the absence of one).
+func (c *Cache) Put(dir []byte, name string, acl *ACL) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[cacheKey{string(dir), name}] = acl
+}
+
+// Invalidate drops the entry for (dir, name).
+func (c *Cache) Invalidate(dir []byte, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, cacheKey{string(dir), name})
+}
+
+// InvalidateAll clears the cache (proxy reconfiguration).
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[cacheKey]*ACL)
+}
+
+// Stats reports hit/miss counters.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

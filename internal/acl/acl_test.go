@@ -1,0 +1,143 @@
+package acl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+const aliceDN = "/C=US/O=SGFS Grid/OU=users/CN=alice"
+const bobDN = "/C=US/O=SGFS Grid/OU=users/CN=bob"
+
+func TestParseLetters(t *testing.T) {
+	a, err := Parse(strings.NewReader(`
+"` + aliceDN + `" rwx
+"` + bobDN + `" r
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Check(aliceDN) != PermAll {
+		t.Fatalf("alice mask %#x", a.Check(aliceDN))
+	}
+	if a.Check(bobDN) != PermRead {
+		t.Fatalf("bob mask %#x", a.Check(bobDN))
+	}
+	if a.Check("/CN=stranger") != 0 {
+		t.Fatal("stranger granted access")
+	}
+}
+
+func TestParseNumericMask(t *testing.T) {
+	a, err := Parse(strings.NewReader(`"` + aliceDN + `" 0x2f`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Check(aliceDN) != 0x2f {
+		t.Fatalf("mask %#x", a.Check(aliceDN))
+	}
+}
+
+func TestExplicitDeny(t *testing.T) {
+	a := New()
+	a.Grant(aliceDN, PermAll)
+	a.Deny(bobDN)
+	if !a.Has(bobDN) || a.Check(bobDN) != 0 {
+		t.Fatal("explicit deny not recorded")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	a := New()
+	a.Grant(aliceDN, PermRead|PermWrite)
+	a.Grant(bobDN, PermRead)
+	b, err := ParseBytes(a.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Check(aliceDN) != PermRead|PermWrite || b.Check(bobDN) != PermRead {
+		t.Fatal("round trip mangled masks")
+	}
+}
+
+func TestParsePermVariants(t *testing.T) {
+	cases := map[string]uint32{
+		"r": PermRead, "w": PermWrite, "x": PermExec,
+		"rw": PermRead | PermWrite, "rwx": PermAll, "-": 0,
+		"19": 19, "0x3f": 0x3f,
+	}
+	for spec, want := range cases {
+		got, err := ParsePerm(spec)
+		if err != nil || got != want {
+			t.Errorf("ParsePerm(%q) = %#x, %v; want %#x", spec, got, err, want)
+		}
+	}
+	if _, err := ParsePerm("banana"); err == nil {
+		t.Error("accepted garbage spec")
+	}
+	if _, err := ParsePerm(""); err == nil {
+		t.Error("accepted empty spec")
+	}
+}
+
+func TestFileNameConventions(t *testing.T) {
+	if FileName("data.txt") != ".data.txt.acl" {
+		t.Fatalf("got %q", FileName("data.txt"))
+	}
+	for name, want := range map[string]bool{
+		".data.txt.acl": true,
+		".x.acl":        true,
+		"data.txt":      false,
+		".acl":          false,
+		".hidden":       false,
+	} {
+		if IsACLFile(name) != want {
+			t.Errorf("IsACLFile(%q) != %v", name, want)
+		}
+	}
+}
+
+func TestPermMaskCoversNFSBits(t *testing.T) {
+	// The rwx shorthand must cover exactly the NFSv3 ACCESS bits.
+	if PermRead != vfs.AccessRead|vfs.AccessLookup {
+		t.Fatal("PermRead drifted")
+	}
+	if PermWrite != vfs.AccessModify|vfs.AccessExtend|vfs.AccessDelete {
+		t.Fatal("PermWrite drifted")
+	}
+}
+
+func TestCache(t *testing.T) {
+	c := NewCache()
+	dir := []byte("dirhandle")
+	if _, present := c.Get(dir, "f"); present {
+		t.Fatal("empty cache claimed presence")
+	}
+	a := New()
+	a.Grant(aliceDN, PermRead)
+	c.Put(dir, "f", a)
+	got, present := c.Get(dir, "f")
+	if !present || got.Check(aliceDN) != PermRead {
+		t.Fatal("cache lost ACL")
+	}
+	// Negative caching: absence is cacheable.
+	c.Put(dir, "none", nil)
+	got, present = c.Get(dir, "none")
+	if !present || got != nil {
+		t.Fatal("negative entry mishandled")
+	}
+	c.Invalidate(dir, "f")
+	if _, present := c.Get(dir, "f"); present {
+		t.Fatal("invalidate failed")
+	}
+	c.Put(dir, "f", a)
+	c.InvalidateAll()
+	if _, present := c.Get(dir, "f"); present {
+		t.Fatal("invalidate-all failed")
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats not counting: %d/%d", hits, misses)
+	}
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// tinyIOzone keeps unit-test runs fast.
+var tinyIOzone = IOzoneConfig{FileSize: 2 << 20, RecordSize: 32 * 1024, Passes: 2}
+
+var tinyPostmark = PostmarkConfig{Directories: 5, Files: 20, Transactions: 40}
+
+var tinyMAB = MABConfig{Dirs: 4, Files: 20, Outputs: 10, MeanSize: 4096, CompileCPU: time.Microsecond}
+
+var tinySeismic = SeismicConfig{TraceBytes: 1 << 20, ComputeScale: 0.01}
+
+func buildTest(t *testing.T, cfg StackConfig) *Stack {
+	t.Helper()
+	st, err := BuildStack(cfg)
+	if err != nil {
+		t.Fatalf("build %s: %v", cfg.Setup, err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
+
+func TestIOzoneOnAllSetups(t *testing.T) {
+	for _, setup := range AllLANSetups {
+		setup := setup
+		t.Run(string(setup), func(t *testing.T) {
+			st := buildTest(t, StackConfig{Setup: setup, ClientCacheBytes: 512 * 1024})
+			if err := PreloadIOzoneFile(st, tinyIOzone); err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunIOzone(context.Background(), st.FS, tinyIOzone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(tinyIOzone.FileSize * 2)
+			if res.BytesRead != want {
+				t.Fatalf("read %d bytes, want %d", res.BytesRead, want)
+			}
+		})
+	}
+}
+
+func TestPostmarkOnKeySetups(t *testing.T) {
+	for _, setup := range []Setup{SetupNFSv3, SetupNFSv4, SetupSGFSAES, SetupSFS, SetupGFSSSH} {
+		setup := setup
+		t.Run(string(setup), func(t *testing.T) {
+			st := buildTest(t, StackConfig{Setup: setup})
+			res, err := RunPostmark(context.Background(), st.FS, tinyPostmark)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Total() <= 0 {
+				t.Fatal("no time elapsed")
+			}
+		})
+	}
+}
+
+func TestMABOnKeySetups(t *testing.T) {
+	for _, setup := range []Setup{SetupNFSv3, SetupSGFSAES} {
+		setup := setup
+		t.Run(string(setup), func(t *testing.T) {
+			st := buildTest(t, StackConfig{Setup: setup})
+			if err := SeedMABSource(st, tinyMAB); err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunMAB(context.Background(), st.FS, tinyMAB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Copy <= 0 || res.Stat <= 0 || res.Search <= 0 || res.Compile <= 0 {
+				t.Fatalf("phases: %+v", res)
+			}
+		})
+	}
+}
+
+func TestSeismicOnKeySetups(t *testing.T) {
+	for _, setup := range []Setup{SetupNFSv3, SetupSGFSAES} {
+		setup := setup
+		t.Run(string(setup), func(t *testing.T) {
+			cfg := StackConfig{Setup: setup}
+			if setup == SetupSGFSAES {
+				cfg.DiskCache = true
+			}
+			st := buildTest(t, cfg)
+			res, err := RunSeismic(context.Background(), st.FS, tinySeismic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Total() <= 0 {
+				t.Fatal("no time elapsed")
+			}
+			// Final results must survive; intermediates must be gone.
+			if _, _, err := st.FS.Stat(context.Background(), "seismic.dmig"); err != nil {
+				t.Fatalf("final output missing: %v", err)
+			}
+			if _, _, err := st.FS.Stat(context.Background(), "seismic.raw"); err == nil {
+				t.Fatal("intermediate output survived cleanup")
+			}
+		})
+	}
+}
+
+func TestSGFSWriteBackCancellation(t *testing.T) {
+	st := buildTest(t, StackConfig{Setup: SetupSGFSAES, DiskCache: true})
+	ctx := context.Background()
+	if _, err := RunSeismic(ctx, st.FS, tinySeismic); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.CacheStats()
+	if stats.CancelledBytes == 0 {
+		t.Fatal("seismic temporaries were not cancelled by write-back")
+	}
+	// Flush the survivors and confirm they reached the backend.
+	if err := st.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := st.Backend.Lookup(st.Backend.Root(), "seismic.dmig")
+	if err != nil {
+		t.Fatalf("final output not on server after flush: %v", err)
+	}
+	attr, _ := st.Backend.GetAttr(h)
+	if attr.Size == 0 {
+		t.Fatal("flushed final output empty on server")
+	}
+}
+
+func TestWANDiskCachingBeatsNFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN comparison takes seconds")
+	}
+	ctx := context.Background()
+	const rtt = 10 * time.Millisecond
+	pm := PostmarkConfig{Directories: 3, Files: 10, Transactions: 20}
+
+	nfs := buildTest(t, StackConfig{Setup: SetupNFSv3, RTT: rtt})
+	resNFS, err := RunPostmark(ctx, nfs.FS, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgfs := buildTest(t, StackConfig{Setup: SetupSGFSAES, RTT: rtt, DiskCache: true})
+	resSGFS, err := RunPostmark(ctx, sgfs.FS, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSGFS.Total() >= resNFS.Total() {
+		t.Fatalf("sgfs (%v) not faster than nfs-v3 (%v) over %v RTT",
+			resSGFS.Total(), resNFS.Total(), rtt)
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatal("count")
+	}
+	if m := s.Mean(); m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if sd := s.StdDev(); sd < 2.13 || sd > 2.15 {
+		t.Fatalf("stddev %v", sd)
+	}
+	if s.Min() != 2 {
+		t.Fatal("min")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("setup", "runtime")
+	tb.AddRow("nfs-v3", 1.5)
+	tb.AddRow("sgfs", 2*time.Second)
+	out := tb.String()
+	if len(out) == 0 || out[0] != 's' {
+		t.Fatalf("table output %q", out)
+	}
+}

@@ -1,0 +1,344 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// MABConfig parameterizes the Modified Andrew Benchmark (§6.3.1): the
+// paper replaces the original Andrew tree with openssh-4.6p1 — a
+// 3-level source tree of 13 directories and 449 files whose
+// compilation produces 194 outputs. The synthetic tree here matches
+// those counts; sizes follow a source-file-like distribution.
+type MABConfig struct {
+	Dirs     int // default 13
+	Files    int // default 449
+	Outputs  int // default 194
+	MeanSize int // default 12 KiB (openssh-4.6p1 averages ~11.8 KB/file)
+	Seed     int64
+	// CompileCPU is the simulated per-file compile time; the paper's
+	// compile phase is CPU+I/O mixed. Default 2 ms per source file.
+	CompileCPU time.Duration
+}
+
+func (c MABConfig) withDefaults() MABConfig {
+	if c.Dirs == 0 {
+		c.Dirs = 13
+	}
+	if c.Files == 0 {
+		c.Files = 449
+	}
+	if c.Outputs == 0 {
+		c.Outputs = 194
+	}
+	if c.MeanSize == 0 {
+		c.MeanSize = 12 * 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.CompileCPU == 0 {
+		c.CompileCPU = 2 * time.Millisecond
+	}
+	return c
+}
+
+// MABResult reports per-phase runtimes (the bars of Figure 9).
+type MABResult struct {
+	Copy    time.Duration
+	Stat    time.Duration
+	Search  time.Duration
+	Compile time.Duration
+}
+
+// Total returns the full runtime.
+func (r MABResult) Total() time.Duration { return r.Copy + r.Stat + r.Search + r.Compile }
+
+// mabTree enumerates the synthetic source tree.
+type mabTree struct {
+	dirs  []string
+	files []string
+	sizes []int
+}
+
+func buildMABTree(cfg MABConfig) *mabTree {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &mabTree{}
+	// 3-level layout: root + first/second level directories.
+	t.dirs = append(t.dirs, "src")
+	for i := 1; i < cfg.Dirs; i++ {
+		if i <= 6 {
+			t.dirs = append(t.dirs, fmt.Sprintf("src/d%d", i))
+		} else {
+			t.dirs = append(t.dirs, fmt.Sprintf("src/d%d/s%d", 1+(i-7)%6, i))
+		}
+	}
+	for i := 0; i < cfg.Files; i++ {
+		dir := t.dirs[rng.Intn(len(t.dirs))]
+		t.files = append(t.files, fmt.Sprintf("%s/file%03d.c", dir, i))
+		// Log-normal-ish size: mostly small, a few large.
+		size := cfg.MeanSize/4 + rng.Intn(cfg.MeanSize*3/2)
+		t.sizes = append(t.sizes, size)
+	}
+	return t
+}
+
+// SeedMABSource writes the pristine source tree into the backend
+// directly (the tree a developer would have checked out on the
+// server).
+func SeedMABSource(st *Stack, cfg MABConfig) error {
+	cfg = cfg.withDefaults()
+	tree := buildMABTree(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	root := st.Backend.Root()
+	// "pristine" mirrors the tree under a source directory.
+	cur, _, err := st.Backend.Mkdir(root, "pristine", fileMode(0755))
+	if err != nil {
+		return err
+	}
+	handles := map[string]vfs.Handle{"": cur}
+	for _, d := range tree.dirs {
+		parent, name := splitLast(d)
+		h, _, err := st.Backend.Mkdir(handles[parent], name, fileMode(0755))
+		if err != nil {
+			return err
+		}
+		handles[d] = h
+	}
+	content := make([]byte, cfg.MeanSize*3)
+	for i := range content {
+		if rng.Intn(12) == 0 {
+			content[i] = '\n'
+		} else {
+			content[i] = byte('a' + rng.Intn(26))
+		}
+	}
+	for i, f := range tree.files {
+		parent, name := splitLast(f)
+		h, _, err := st.Backend.Create(handles[parent], name, fileMode(0644), false)
+		if err != nil {
+			return err
+		}
+		off := rng.Intn(len(content) - tree.sizes[i])
+		if err := st.Backend.Write(h, 0, content[off:off+tree.sizes[i]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitLast(p string) (dir, name string) {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[:i], p[i+1:]
+		}
+	}
+	return "", p
+}
+
+// RunMAB executes the four MAB phases: copy the tree into the working
+// area, stat every file, search every file for a keyword, and
+// "compile" (read each source, burn CPU, emit object files and link
+// binaries).
+func RunMAB(ctx context.Context, fs FS, cfg MABConfig) (MABResult, error) {
+	cfg = cfg.withDefaults()
+	tree := buildMABTree(cfg)
+	var res MABResult
+
+	// Phase 1: copy. Replicates the pristine tree file by file.
+	start := time.Now()
+	if err := fs.Mkdir(ctx, "work"); err != nil {
+		return res, fmt.Errorf("mab copy: %w", err)
+	}
+	for _, d := range tree.dirs {
+		if err := fs.Mkdir(ctx, "work/"+d); err != nil {
+			return res, fmt.Errorf("mab copy mkdir: %w", err)
+		}
+	}
+	buf := make([]byte, 64*1024)
+	for _, f := range tree.files {
+		src, err := fs.Open(ctx, "pristine/"+f)
+		if err != nil {
+			return res, fmt.Errorf("mab copy open %s: %w", f, err)
+		}
+		dst, err := fs.Create(ctx, "work/"+f)
+		if err != nil {
+			src.Close(ctx)
+			return res, err
+		}
+		var off int64
+		for {
+			n, err := src.ReadAt(ctx, buf, off)
+			if n > 0 {
+				if _, werr := dst.WriteAt(ctx, buf[:n], off); werr != nil {
+					return res, werr
+				}
+				off += int64(n)
+			}
+			if err != nil || n == 0 {
+				break
+			}
+			if off >= src.Size() {
+				break
+			}
+		}
+		src.Close(ctx)
+		if err := dst.Close(ctx); err != nil {
+			return res, err
+		}
+	}
+	res.Copy = time.Since(start)
+
+	// Phase 2: stat. Recursively examine the status of every file.
+	start = time.Now()
+	var statWalk func(dir string) error
+	statWalk = func(dir string) error {
+		names, err := fs.ReadDir(ctx, dir)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			p := dir + "/" + name
+			_, isDir, err := fs.Stat(ctx, p)
+			if err != nil {
+				return err
+			}
+			if isDir {
+				if err := statWalk(p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := statWalk("work"); err != nil {
+		return res, fmt.Errorf("mab stat: %w", err)
+	}
+	res.Stat = time.Since(start)
+
+	// Phase 3: search. Read every file thoroughly looking for a
+	// keyword.
+	start = time.Now()
+	keyword := []byte("keyword-not-present")
+	for _, f := range tree.files {
+		file, err := fs.Open(ctx, "work/"+f)
+		if err != nil {
+			return res, fmt.Errorf("mab search: %w", err)
+		}
+		var off int64
+		for {
+			n, err := file.ReadAt(ctx, buf, off)
+			if n > 0 {
+				bytes.Contains(buf[:n], keyword)
+				off += int64(n)
+			}
+			if err != nil || n == 0 || off >= file.Size() {
+				break
+			}
+		}
+		file.Close(ctx)
+	}
+	res.Search = time.Since(start)
+
+	// Phase 4: compile. Every source is read and "compiled" (CPU
+	// burn); the paper's tree emits 194 binaries and object files in
+	// total, so only the first Outputs-binaries sources produce .o
+	// files, and a handful of binaries are linked from them.
+	binaries := 10
+	if binaries > cfg.Outputs/2 {
+		binaries = cfg.Outputs / 2
+	}
+	objects := cfg.Outputs - binaries
+	if objects > cfg.Files {
+		objects = cfg.Files
+	}
+	start = time.Now()
+	for i, f := range tree.files {
+		file, err := fs.Open(ctx, "work/"+f)
+		if err != nil {
+			return res, fmt.Errorf("mab compile: %w", err)
+		}
+		var off int64
+		sum := uint64(0)
+		for {
+			n, err := file.ReadAt(ctx, buf, off)
+			if n > 0 {
+				for _, b := range buf[:n] {
+					sum = sum*131 + uint64(b)
+				}
+				off += int64(n)
+			}
+			if err != nil || n == 0 || off >= file.Size() {
+				break
+			}
+		}
+		file.Close(ctx)
+		spinCPU(cfg.CompileCPU)
+		if i >= objects {
+			continue
+		}
+		// Object file ~60% of source size.
+		objSize := tree.sizes[i] * 6 / 10
+		obj, err := fs.Create(ctx, fmt.Sprintf("work/file%03d.o", i))
+		if err != nil {
+			return res, err
+		}
+		if _, err := obj.WriteAt(ctx, buf[:min(objSize, len(buf))], 0); err != nil {
+			return res, err
+		}
+		if err := obj.Close(ctx); err != nil {
+			return res, err
+		}
+	}
+	// Link phase: each binary reads a few objects.
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	for b := 0; b < binaries; b++ {
+		bin, err := fs.Create(ctx, fmt.Sprintf("work/bin%03d", b))
+		if err != nil {
+			return res, err
+		}
+		var off int64
+		for k := 0; k < 3; k++ {
+			objPath := fmt.Sprintf("work/file%03d.o", rng.Intn(objects))
+			obj, err := fs.Open(ctx, objPath)
+			if err != nil {
+				continue
+			}
+			n, _ := obj.ReadAt(ctx, buf, 0)
+			obj.Close(ctx)
+			if n > 0 {
+				bin.WriteAt(ctx, buf[:n], off)
+				off += int64(n)
+			}
+		}
+		if err := bin.Close(ctx); err != nil {
+			return res, err
+		}
+	}
+	res.Compile = time.Since(start)
+	return res, nil
+}
+
+// spinCPU burns approximately d of CPU time (simulated compilation).
+func spinCPU(d time.Duration) {
+	end := time.Now().Add(d)
+	x := uint64(1)
+	for time.Now().Before(end) {
+		for i := 0; i < 4096; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+	}
+	_ = x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PostmarkConfig parameterizes the PostMark benchmark (§6.2.2),
+// defaulting to the paper's parameters: 100 directories, 500 initial
+// files, 1000 transactions split evenly between create/delete and
+// read/append, file sizes 512 B – 16 KB.
+type PostmarkConfig struct {
+	Directories  int   // default 100
+	Files        int   // default 500
+	Transactions int   // default 1000
+	MinSize      int   // default 512
+	MaxSize      int   // default 16 KiB
+	Seed         int64 // default 7 (fixed for reproducibility)
+}
+
+func (c PostmarkConfig) withDefaults() PostmarkConfig {
+	if c.Directories == 0 {
+		c.Directories = 100
+	}
+	if c.Files == 0 {
+		c.Files = 500
+	}
+	if c.Transactions == 0 {
+		c.Transactions = 1000
+	}
+	if c.MinSize == 0 {
+		c.MinSize = 512
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 16 * 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// PostmarkResult reports per-phase runtimes (the bars of Figure 7).
+type PostmarkResult struct {
+	Creation    time.Duration
+	Transaction time.Duration
+	Deletion    time.Duration
+}
+
+// Total returns the full runtime (the series of Figure 8).
+func (r PostmarkResult) Total() time.Duration {
+	return r.Creation + r.Transaction + r.Deletion
+}
+
+// RunPostmark executes the three PostMark phases against fs.
+func RunPostmark(ctx context.Context, fs FS, cfg PostmarkConfig) (PostmarkResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res PostmarkResult
+
+	data := make([]byte, cfg.MaxSize)
+	rng.Read(data)
+	size := func() int { return cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1) }
+
+	// Creation phase: directory pool, then the initial file set.
+	start := time.Now()
+	if err := fs.Mkdir(ctx, "pm"); err != nil {
+		return res, fmt.Errorf("postmark: mkdir pool root: %w", err)
+	}
+	dirs := make([]string, cfg.Directories)
+	for i := range dirs {
+		dirs[i] = fmt.Sprintf("pm/d%03d", i)
+		if err := fs.Mkdir(ctx, dirs[i]); err != nil {
+			return res, fmt.Errorf("postmark: mkdir: %w", err)
+		}
+	}
+	type pfile struct {
+		path string
+		size int
+	}
+	files := make([]pfile, 0, cfg.Files+cfg.Transactions)
+	live := make(map[int]bool)
+	writeFile := func(path string, n int) error {
+		f, err := fs.Create(ctx, path)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(ctx, data[:n], 0); err != nil {
+			f.Close(ctx)
+			return err
+		}
+		return f.Close(ctx)
+	}
+	for i := 0; i < cfg.Files; i++ {
+		p := pfile{path: fmt.Sprintf("%s/f%05d", dirs[rng.Intn(len(dirs))], i), size: size()}
+		if err := writeFile(p.path, p.size); err != nil {
+			return res, fmt.Errorf("postmark: create pool: %w", err)
+		}
+		files = append(files, p)
+		live[i] = true
+	}
+	res.Creation = time.Since(start)
+
+	// Transaction phase.
+	liveList := func() []int {
+		out := make([]int, 0, len(live))
+		for i := range live {
+			out = append(out, i)
+		}
+		return out
+	}
+	nextID := cfg.Files
+	start = time.Now()
+	buf := make([]byte, cfg.MaxSize)
+	for t := 0; t < cfg.Transactions; t++ {
+		if rng.Intn(2) == 0 {
+			// create or delete
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				p := pfile{path: fmt.Sprintf("%s/f%05d", dirs[rng.Intn(len(dirs))], nextID), size: size()}
+				if err := writeFile(p.path, p.size); err != nil {
+					return res, fmt.Errorf("postmark: txn create: %w", err)
+				}
+				files = append(files, p)
+				live[nextID] = true
+				nextID++
+			} else {
+				ids := liveList()
+				id := ids[rng.Intn(len(ids))]
+				if err := fs.Remove(ctx, files[id].path); err != nil {
+					return res, fmt.Errorf("postmark: txn delete: %w", err)
+				}
+				delete(live, id)
+			}
+		} else {
+			// read or append
+			if len(live) == 0 {
+				continue
+			}
+			ids := liveList()
+			id := ids[rng.Intn(len(ids))]
+			f, err := fs.Open(ctx, files[id].path)
+			if err != nil {
+				return res, fmt.Errorf("postmark: txn open: %w", err)
+			}
+			if rng.Intn(2) == 0 {
+				// Read the whole file (appends may have grown it past
+				// one buffer).
+				for off := 0; off < files[id].size; off += len(buf) {
+					n := files[id].size - off
+					if n > len(buf) {
+						n = len(buf)
+					}
+					if _, err := f.ReadAt(ctx, buf[:n], int64(off)); err != nil {
+						f.Close(ctx)
+						return res, fmt.Errorf("postmark: txn read: %w", err)
+					}
+				}
+			} else {
+				n := size()
+				if _, err := f.WriteAt(ctx, data[:n], int64(files[id].size)); err != nil {
+					f.Close(ctx)
+					return res, fmt.Errorf("postmark: txn append: %w", err)
+				}
+				files[id].size += n
+			}
+			if err := f.Close(ctx); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Transaction = time.Since(start)
+
+	// Deletion phase: remove all remaining files and directories.
+	start = time.Now()
+	for id := range live {
+		if err := fs.Remove(ctx, files[id].path); err != nil {
+			return res, fmt.Errorf("postmark: deletion: %w", err)
+		}
+	}
+	for _, d := range dirs {
+		if err := fs.Rmdir(ctx, d); err != nil {
+			return res, fmt.Errorf("postmark: rmdir: %w", err)
+		}
+	}
+	if err := fs.Rmdir(ctx, "pm"); err != nil {
+		return res, err
+	}
+	res.Deletion = time.Since(start)
+	return res, nil
+}

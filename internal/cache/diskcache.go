@@ -1,0 +1,379 @@
+// Package cache implements the SGFS client-side proxy's disk cache:
+// the mechanism behind the paper's WAN results (Figures 8-10). File
+// blocks are cached in files under a local cache directory, so the
+// cache can hold working sets far larger than client memory;
+// attributes and access decisions are cached for the lifetime of the
+// session (the paper's experiments dedicate a file system session to a
+// single user or job, §6.1).
+//
+// Writes are absorbed locally (write-back): the proxy acknowledges
+// them once they are in the disk cache, and dirty blocks flow to the
+// server on Flush — typically at session close. Dirty blocks of a file
+// that is removed before the flush are cancelled, which is how the
+// Seismic benchmark's temporary outputs never cross the WAN (§6.3.2).
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/nfs3"
+)
+
+// DiskCache is a block/attribute/access cache backed by a directory.
+// It is safe for concurrent use.
+type DiskCache struct {
+	dir       string
+	blockSize int
+	capacity  int64
+
+	mu    sync.Mutex
+	files map[string]*cacheFile
+	used  int64
+	lru   *list.List // *blockMeta, front = most recent
+
+	attrs  map[string]nfs3.Fattr3
+	access map[string]uint32 // fh -> granted mask for the session user
+
+	stats Stats
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	BlockHits      uint64
+	BlockMisses    uint64
+	AttrHits       uint64
+	AttrMisses     uint64
+	AccessHits     uint64
+	AccessMisses   uint64
+	FlushedBytes   uint64
+	CancelledBytes uint64
+}
+
+type cacheFile struct {
+	path   string
+	f      *os.File
+	blocks map[uint64]*blockMeta
+}
+
+type blockMeta struct {
+	fh    string
+	idx   uint64
+	len   int
+	dirty bool
+	elem  *list.Element
+}
+
+// New creates a disk cache in dir (created if absent) with the given
+// block size and capacity in bytes.
+func New(dir string, blockSize int, capacity int64) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0700); err != nil {
+		return nil, fmt.Errorf("cache: create dir: %w", err)
+	}
+	return &DiskCache{
+		dir:       dir,
+		blockSize: blockSize,
+		capacity:  capacity,
+		files:     make(map[string]*cacheFile),
+		lru:       list.New(),
+		attrs:     make(map[string]nfs3.Fattr3),
+		access:    make(map[string]uint32),
+	}, nil
+}
+
+// BlockSize returns the configured block size.
+func (c *DiskCache) BlockSize() int { return c.blockSize }
+
+func fhName(fh string) string {
+	sum := sha256.Sum256([]byte(fh))
+	return hex.EncodeToString(sum[:16]) + ".blk"
+}
+
+// file returns (opening or creating) the cache file for fh; the caller
+// holds mu.
+func (c *DiskCache) file(fh string, create bool) (*cacheFile, error) {
+	if cf, ok := c.files[fh]; ok {
+		return cf, nil
+	}
+	if !create {
+		return nil, nil
+	}
+	path := filepath.Join(c.dir, fhName(fh))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0600)
+	if err != nil {
+		return nil, fmt.Errorf("cache: open block file: %w", err)
+	}
+	cf := &cacheFile{path: path, f: f, blocks: make(map[uint64]*blockMeta)}
+	c.files[fh] = cf
+	return cf, nil
+}
+
+// GetBlock returns the cached block data, or ok=false on a miss.
+func (c *DiskCache) GetBlock(fh nfs3.FH3, idx uint64) ([]byte, bool) {
+	key := string(fh.Data)
+	c.mu.Lock()
+	cf := c.files[key]
+	if cf == nil {
+		c.stats.BlockMisses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	bm, ok := cf.blocks[idx]
+	if !ok {
+		c.stats.BlockMisses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.stats.BlockHits++
+	c.lru.MoveToFront(bm.elem)
+	length := bm.len
+	f := cf.f
+	c.mu.Unlock()
+
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, int64(idx)*int64(c.blockSize)); err != nil {
+		return nil, false
+	}
+	return buf, true
+}
+
+// PutBlock stores block data. dirty marks it as written locally and
+// not yet on the server. Eviction discards clean blocks only; dirty
+// blocks are pinned until flushed or cancelled (the cache directory is
+// the stable store backing the proxy's write-back guarantee).
+func (c *DiskCache) PutBlock(fh nfs3.FH3, idx uint64, data []byte, dirty bool) error {
+	key := string(fh.Data)
+	c.mu.Lock()
+	cf, err := c.file(key, true)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	f := cf.f
+	c.mu.Unlock()
+
+	// Write outside the lock; block files are never shrunk so the
+	// offset is stable.
+	if _, err := f.WriteAt(data, int64(idx)*int64(c.blockSize)); err != nil {
+		return fmt.Errorf("cache: write block: %w", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bm, ok := cf.blocks[idx]; ok {
+		c.used += int64(len(data)) - int64(bm.len)
+		bm.len = len(data)
+		bm.dirty = bm.dirty || dirty
+		c.lru.MoveToFront(bm.elem)
+	} else {
+		bm := &blockMeta{fh: key, idx: idx, len: len(data), dirty: dirty}
+		bm.elem = c.lru.PushFront(bm)
+		cf.blocks[idx] = bm
+		c.used += int64(len(data))
+	}
+	c.evictLocked()
+	return nil
+}
+
+// evictLocked drops clean LRU blocks until within capacity.
+func (c *DiskCache) evictLocked() {
+	for c.used > c.capacity {
+		var victim *blockMeta
+		for e := c.lru.Back(); e != nil; e = e.Prev() {
+			bm := e.Value.(*blockMeta)
+			if !bm.dirty {
+				victim = bm
+				break
+			}
+		}
+		if victim == nil {
+			return // everything dirty; over-capacity until flush
+		}
+		c.removeBlockLocked(victim)
+	}
+}
+
+func (c *DiskCache) removeBlockLocked(bm *blockMeta) {
+	c.lru.Remove(bm.elem)
+	if cf := c.files[bm.fh]; cf != nil {
+		delete(cf.blocks, bm.idx)
+	}
+	c.used -= int64(bm.len)
+}
+
+// MarkDirty flags an existing block dirty (used after local merges).
+func (c *DiskCache) MarkDirty(fh nfs3.FH3, idx uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cf := c.files[string(fh.Data)]; cf != nil {
+		if bm, ok := cf.blocks[idx]; ok {
+			bm.dirty = true
+		}
+	}
+}
+
+// DirtyList returns the dirty block indices of fh in ascending order
+// (they stay dirty until FlushDone).
+func (c *DiskCache) DirtyList(fh nfs3.FH3) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cf := c.files[string(fh.Data)]
+	if cf == nil {
+		return nil
+	}
+	var out []uint64
+	for idx, bm := range cf.blocks {
+		if bm.dirty {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtyFiles returns the handles of all files with dirty blocks.
+func (c *DiskCache) DirtyFiles() []nfs3.FH3 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []nfs3.FH3
+	for key, cf := range c.files {
+		for _, bm := range cf.blocks {
+			if bm.dirty {
+				out = append(out, nfs3.FH3{Data: []byte(key)})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FlushDone marks a block clean after it reached the server.
+func (c *DiskCache) FlushDone(fh nfs3.FH3, idx uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cf := c.files[string(fh.Data)]; cf != nil {
+		if bm, ok := cf.blocks[idx]; ok && bm.dirty {
+			bm.dirty = false
+			c.stats.FlushedBytes += uint64(bm.len)
+		}
+	}
+}
+
+// DropFile discards every cached block of fh (dirty included) and
+// deletes its backing file. Used when the file is removed: pending
+// write-back is cancelled.
+func (c *DiskCache) DropFile(fh nfs3.FH3) {
+	key := string(fh.Data)
+	c.mu.Lock()
+	cf := c.files[key]
+	if cf != nil {
+		for _, bm := range cf.blocks {
+			if bm.dirty {
+				c.stats.CancelledBytes += uint64(bm.len)
+			}
+			c.lru.Remove(bm.elem)
+			c.used -= int64(bm.len)
+		}
+		delete(c.files, key)
+	}
+	delete(c.attrs, key)
+	delete(c.access, key)
+	c.mu.Unlock()
+	if cf != nil {
+		cf.f.Close()
+		os.Remove(cf.path)
+	}
+}
+
+// GetAttr returns cached attributes.
+func (c *DiskCache) GetAttr(fh nfs3.FH3) (nfs3.Fattr3, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.attrs[string(fh.Data)]
+	if ok {
+		c.stats.AttrHits++
+	} else {
+		c.stats.AttrMisses++
+	}
+	return a, ok
+}
+
+// PutAttr caches attributes for the session.
+func (c *DiskCache) PutAttr(fh nfs3.FH3, a nfs3.Fattr3) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attrs[string(fh.Data)] = a
+}
+
+// UpdateAttr mutates cached attributes if present.
+func (c *DiskCache) UpdateAttr(fh nfs3.FH3, f func(*nfs3.Fattr3)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.attrs[string(fh.Data)]; ok {
+		f(&a)
+		c.attrs[string(fh.Data)] = a
+	}
+}
+
+// InvalidateAttr drops cached attributes.
+func (c *DiskCache) InvalidateAttr(fh nfs3.FH3) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.attrs, string(fh.Data))
+}
+
+// GetAccess returns the cached ACCESS grant for fh.
+func (c *DiskCache) GetAccess(fh nfs3.FH3) (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.access[string(fh.Data)]
+	if ok {
+		c.stats.AccessHits++
+	} else {
+		c.stats.AccessMisses++
+	}
+	return g, ok
+}
+
+// PutAccess caches an ACCESS grant.
+func (c *DiskCache) PutAccess(fh nfs3.FH3, granted uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.access[string(fh.Data)] = granted
+}
+
+// Stats returns a snapshot of the counters.
+func (c *DiskCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Used reports current cached bytes.
+func (c *DiskCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Close releases all backing files and removes the cache directory
+// contents.
+func (c *DiskCache) Close() error {
+	c.mu.Lock()
+	files := c.files
+	c.files = make(map[string]*cacheFile)
+	c.lru.Init()
+	c.used = 0
+	c.mu.Unlock()
+	for _, cf := range files {
+		cf.f.Close()
+		os.Remove(cf.path)
+	}
+	return nil
+}

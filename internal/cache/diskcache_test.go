@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/nfs3"
+)
+
+func newCache(t *testing.T, capacity int64) *DiskCache {
+	t.Helper()
+	c, err := New(t.TempDir(), 1024, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func fh(s string) nfs3.FH3 { return nfs3.FH3{Data: []byte(s)} }
+
+func TestBlockRoundTrip(t *testing.T) {
+	c := newCache(t, 1<<20)
+	data := bytes.Repeat([]byte("d"), 1024)
+	if err := c.PutBlock(fh("f1"), 3, data, false); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.GetBlock(fh("f1"), 3)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("block lost or corrupted")
+	}
+	if _, ok := c.GetBlock(fh("f1"), 4); ok {
+		t.Fatal("phantom block")
+	}
+	if _, ok := c.GetBlock(fh("f2"), 3); ok {
+		t.Fatal("cross-file block leak")
+	}
+}
+
+func TestShortBlock(t *testing.T) {
+	c := newCache(t, 1<<20)
+	data := []byte("short")
+	c.PutBlock(fh("f"), 0, data, false)
+	got, ok := c.GetBlock(fh("f"), 0)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("short block: %q %v", got, ok)
+	}
+}
+
+func TestOverwriteBlock(t *testing.T) {
+	c := newCache(t, 1<<20)
+	c.PutBlock(fh("f"), 0, []byte("old-contents"), false)
+	c.PutBlock(fh("f"), 0, []byte("new"), false)
+	got, _ := c.GetBlock(fh("f"), 0)
+	if string(got) != "new" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEvictionRespectsCapacityAndDirtyPin(t *testing.T) {
+	c := newCache(t, 4*1024) // four blocks
+	blk := bytes.Repeat([]byte("x"), 1024)
+	// Two dirty blocks are pinned.
+	c.PutBlock(fh("d"), 0, blk, true)
+	c.PutBlock(fh("d"), 1, blk, true)
+	// Six clean blocks force eviction.
+	for i := uint64(0); i < 6; i++ {
+		c.PutBlock(fh("c"), i, blk, false)
+	}
+	if c.Used() > 4*1024 {
+		t.Fatalf("used %d exceeds capacity", c.Used())
+	}
+	// Dirty blocks must survive.
+	for i := uint64(0); i < 2; i++ {
+		if _, ok := c.GetBlock(fh("d"), i); !ok {
+			t.Fatalf("dirty block %d evicted", i)
+		}
+	}
+}
+
+func TestDirtyFlushCycle(t *testing.T) {
+	c := newCache(t, 1<<20)
+	blk := bytes.Repeat([]byte("w"), 1024)
+	c.PutBlock(fh("f"), 2, blk, true)
+	c.PutBlock(fh("f"), 0, blk, true)
+	c.PutBlock(fh("f"), 1, blk, false)
+	dirty := c.DirtyList(fh("f"))
+	if len(dirty) != 2 || dirty[0] != 0 || dirty[1] != 2 {
+		t.Fatalf("dirty list %v", dirty)
+	}
+	files := c.DirtyFiles()
+	if len(files) != 1 {
+		t.Fatalf("dirty files %d", len(files))
+	}
+	c.FlushDone(fh("f"), 0)
+	c.FlushDone(fh("f"), 2)
+	if got := c.DirtyList(fh("f")); len(got) != 0 {
+		t.Fatalf("dirty after flush: %v", got)
+	}
+	if c.Stats().FlushedBytes != 2048 {
+		t.Fatalf("flushed bytes %d", c.Stats().FlushedBytes)
+	}
+}
+
+func TestDropFileCancelsDirty(t *testing.T) {
+	c := newCache(t, 1<<20)
+	blk := bytes.Repeat([]byte("t"), 1024)
+	c.PutBlock(fh("tmp"), 0, blk, true)
+	c.PutBlock(fh("tmp"), 1, blk, true)
+	c.DropFile(fh("tmp"))
+	if _, ok := c.GetBlock(fh("tmp"), 0); ok {
+		t.Fatal("block survived drop")
+	}
+	if len(c.DirtyFiles()) != 0 {
+		t.Fatal("dirty files after drop")
+	}
+	st := c.Stats()
+	if st.CancelledBytes != 2048 {
+		t.Fatalf("cancelled bytes %d", st.CancelledBytes)
+	}
+	if st.FlushedBytes != 0 {
+		t.Fatal("cancelled writes counted as flushed")
+	}
+}
+
+func TestAttrCache(t *testing.T) {
+	c := newCache(t, 1<<20)
+	if _, ok := c.GetAttr(fh("f")); ok {
+		t.Fatal("phantom attr")
+	}
+	c.PutAttr(fh("f"), nfs3.Fattr3{Size: 99})
+	a, ok := c.GetAttr(fh("f"))
+	if !ok || a.Size != 99 {
+		t.Fatal("attr lost")
+	}
+	c.UpdateAttr(fh("f"), func(a *nfs3.Fattr3) { a.Size = 100 })
+	a, _ = c.GetAttr(fh("f"))
+	if a.Size != 100 {
+		t.Fatal("update lost")
+	}
+	c.InvalidateAttr(fh("f"))
+	if _, ok := c.GetAttr(fh("f")); ok {
+		t.Fatal("invalidate failed")
+	}
+}
+
+func TestAccessCache(t *testing.T) {
+	c := newCache(t, 1<<20)
+	if _, ok := c.GetAccess(fh("f")); ok {
+		t.Fatal("phantom access")
+	}
+	c.PutAccess(fh("f"), 0x1f)
+	g, ok := c.GetAccess(fh("f"))
+	if !ok || g != 0x1f {
+		t.Fatal("access grant lost")
+	}
+}
+
+func TestManyFiles(t *testing.T) {
+	c := newCache(t, 1<<20)
+	for i := 0; i < 50; i++ {
+		key := fh(fmt.Sprintf("file%d", i))
+		if err := c.PutBlock(key, 0, []byte{byte(i)}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		got, ok := c.GetBlock(fh(fmt.Sprintf("file%d", i)), 0)
+		if !ok || got[0] != byte(i) {
+			t.Fatalf("file%d lost", i)
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := newCache(t, 1<<20)
+	c.GetBlock(fh("f"), 0) // miss
+	c.PutBlock(fh("f"), 0, []byte("x"), false)
+	c.GetBlock(fh("f"), 0) // hit
+	st := c.Stats()
+	if st.BlockHits != 1 || st.BlockMisses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gridsec"
+	"repro/internal/mountd"
+	"repro/internal/nfs3"
+	"repro/internal/nfsclient"
+	"repro/internal/oncrpc"
+	"repro/internal/vfs"
+)
+
+const sampleConfig = `
+# SGFS client session
+role = client
+export = /GFS/alice
+server = 127.0.0.1:4000
+security = aes256cbc-sha1
+cert = /tmp/cert.pem
+key = /tmp/key.pem
+ca = /tmp/ca.pem
+disk_cache = /tmp/cache
+cache_size = 1048576
+rekey_interval = 30m
+`
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Role != RoleClient || cfg.Export != "/GFS/alice" || cfg.Server != "127.0.0.1:4000" {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if cfg.CacheBytes != 1048576 || cfg.RekeyInterval != 30*time.Minute {
+		t.Fatalf("numeric fields: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Secure() {
+		t.Fatal("secure config not detected")
+	}
+}
+
+func TestParseRejectsUnknownKey(t *testing.T) {
+	if _, err := Parse(strings.NewReader("bogus = 1\n")); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []string{
+		"role = client\nexport = /x\n",                             // no server
+		"role = server\nexport = /x\n",                             // no upstream
+		"role = banana\nexport = /x\n",                             // bad role
+		"role = client\nserver = a:1\n",                            // no export
+		"role = client\nexport = /x\nserver = a:1\nsecurity = des", // bad suite
+		"role = server\nexport = /x\nupstream = a:1\nsecurity = aes\ncert = c\nkey = k\nca = a\n", // secure server, no gridmap
+	}
+	for _, src := range cases {
+		cfg, err := Parse(strings.NewReader(src))
+		if err != nil {
+			continue // parse-level rejection also acceptable
+		}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("validated bad config %q", src)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	cfg, _ := Parse(strings.NewReader(sampleConfig))
+	out, err := Parse(bytes.NewReader(cfg.Serialize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Server != cfg.Server || out.Security != cfg.Security || out.CacheBytes != cfg.CacheBytes ||
+		out.RekeyInterval != cfg.RekeyInterval {
+		t.Fatalf("round trip: %+v vs %+v", out, cfg)
+	}
+}
+
+// TestSessionsEndToEnd drives the full config-file path: write certs,
+// gridmap and accounts to disk, start both sessions from Config
+// structs, mount through them, and reconfigure live.
+func TestSessionsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := gridsec.NewCA("Core Grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := ca.IssueUser("alice")
+	bob, _ := ca.IssueUser("bob")
+	host, _ := ca.IssueHost("fs")
+	caPath := filepath.Join(dir, "ca.pem")
+	ca.SaveCertPEM(caPath)
+	aliceCert, aliceKey := filepath.Join(dir, "alice.pem"), filepath.Join(dir, "alice.key")
+	alice.SavePEM(aliceCert, aliceKey)
+	bobCert, bobKey := filepath.Join(dir, "bob.pem"), filepath.Join(dir, "bob.key")
+	bob.SavePEM(bobCert, bobKey)
+	hostCert, hostKey := filepath.Join(dir, "host.pem"), filepath.Join(dir, "host.key")
+	host.SavePEM(hostCert, hostKey)
+
+	gridmapPath := filepath.Join(dir, "gridmap")
+	writeFile(t, gridmapPath, `"`+alice.DN()+`" alice`+"\n")
+	accountsPath := filepath.Join(dir, "accounts")
+	writeFile(t, accountsPath, "alice 5001 500\n")
+
+	// NFS server.
+	backend := vfs.NewMemFS()
+	rpc := oncrpc.NewServer()
+	nfs3.NewServer(backend, 9).Register(rpc)
+	md := mountd.NewServer()
+	md.AddExport(&mountd.Export{Path: "/GFS/alice", FS: backend})
+	md.Register(rpc)
+	nfsL, _ := net.Listen("tcp", "127.0.0.1:0")
+	go rpc.Serve(nfsL)
+	defer rpc.Close()
+
+	srv, err := StartServerSession(&Config{
+		Role: RoleServer, Export: "/GFS/alice",
+		Upstream: nfsL.Addr().String(),
+		Security: "aes", CertPath: hostCert, KeyPath: hostKey, CAPath: caPath,
+		GridmapPath: gridmapPath, AccountsPath: accountsPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := StartClientSession(&Config{
+		Role: RoleClient, Export: "/GFS/alice",
+		Server:   srv.Addr(),
+		Security: "aes", CertPath: aliceCert, KeyPath: aliceKey, CAPath: caPath,
+		CacheDir: filepath.Join(dir, "cache"), CacheBytes: 1 << 20, BlockSize: 32 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx := context.Background()
+	addr := cli.Addr()
+	fs, err := nfsclient.Mount(ctx, func() (net.Conn, error) { return net.Dial("tcp", addr) }, "/GFS/alice", nfsclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f, err := fs.Create(ctx, "hello", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(ctx, []byte("through config files"))
+	if err := f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force a rekey on the live session.
+	if err := cli.Rekey(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Open(ctx, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, _ := g.Read(ctx, buf)
+	if string(buf[:n]) != "through config files" {
+		t.Fatalf("read after rekey: %q", buf[:n])
+	}
+
+	// Flush the write-back data and check the server got it under
+	// alice's mapped uid.
+	if err := cli.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, attr, err := backend.Lookup(backend.Root(), "hello")
+	_ = h
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.UID != 5001 {
+		t.Fatalf("server-side uid %d", attr.UID)
+	}
+
+	// Bob is not in the gridmap yet: his session must be refused.
+	if _, err := StartClientSession(&Config{
+		Role: RoleClient, Export: "/GFS/alice", Server: srv.Addr(),
+		Security: "aes", CertPath: bobCert, KeyPath: bobKey, CAPath: caPath,
+	}); err == nil {
+		t.Fatal("unmapped bob established a session")
+	}
+
+	// Reconfigure: alice shares with bob by adding his DN to her
+	// gridmap and signalling a reload.
+	writeFile(t, gridmapPath,
+		`"`+alice.DN()+`" alice`+"\n"+`"`+bob.DN()+`" alice`+"\n")
+	if err := srv.Reconfigure(&Config{
+		Role: RoleServer, Export: "/GFS/alice", Upstream: nfsL.Addr().String(),
+		Security: "aes", CertPath: hostCert, KeyPath: hostKey, CAPath: caPath,
+		GridmapPath: gridmapPath, AccountsPath: accountsPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bobSess, err := StartClientSession(&Config{
+		Role: RoleClient, Export: "/GFS/alice", Server: srv.Addr(),
+		Security: "aes", CertPath: bobCert, KeyPath: bobKey, CAPath: caPath,
+	})
+	if err != nil {
+		t.Fatalf("bob denied after gridmap reload: %v", err)
+	}
+	bobSess.Close()
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := writeFileErr(path, content); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeFileErr(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0644)
+}

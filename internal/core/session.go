@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+
+	"repro/internal/cache"
+	"repro/internal/gridmap"
+	"repro/internal/gridsec"
+	"repro/internal/idmap"
+	"repro/internal/proxy"
+	"repro/internal/securechan"
+)
+
+// loadChannel builds the secure-channel configuration from a session
+// config, loading credentials from disk.
+func loadChannel(cfg *Config) (*securechan.Config, error) {
+	if !cfg.Secure() {
+		return nil, nil
+	}
+	suite, err := cfg.Suite()
+	if err != nil {
+		return nil, err
+	}
+	cred, err := gridsec.LoadPEM(cfg.CertPath, cfg.KeyPath)
+	if err != nil {
+		return nil, fmt.Errorf("core: load credential: %w", err)
+	}
+	roots, err := gridsec.LoadCAPool(cfg.CAPath)
+	if err != nil {
+		return nil, fmt.Errorf("core: load CA pool: %w", err)
+	}
+	return &securechan.Config{
+		Credential: cred,
+		Roots:      roots,
+		Suites:     []securechan.Suite{suite},
+	}, nil
+}
+
+// ServerSession is a running server-side SGFS session.
+type ServerSession struct {
+	cfg   *Config
+	proxy *proxy.ServerProxy
+	gmap  *gridmap.Map
+	ln    net.Listener
+}
+
+// StartServerSession assembles and starts a server-side proxy per cfg,
+// listening on cfg.Listen (or an ephemeral port when empty).
+func StartServerSession(cfg *Config) (*ServerSession, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Role != RoleServer {
+		return nil, fmt.Errorf("core: config role is %q, want server", cfg.Role)
+	}
+	channel, err := loadChannel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var gmap *gridmap.Map
+	if cfg.GridmapPath != "" {
+		policy := gridmap.Deny
+		if cfg.AnonymousOK {
+			policy = gridmap.Anonymous
+		}
+		gmap, err = gridmap.Load(cfg.GridmapPath, policy)
+		if err != nil {
+			return nil, fmt.Errorf("core: load gridmap: %w", err)
+		}
+	}
+	accounts := idmap.NewTable()
+	if cfg.AccountsPath != "" {
+		accounts, err = idmap.LoadFile(cfg.AccountsPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	upstream := cfg.Upstream
+	sp, err := proxy.NewServerProxy(proxy.ServerConfig{
+		UpstreamDial: func() (net.Conn, error) { return net.Dial("tcp", upstream) },
+		ExportPath:   cfg.Export,
+		Channel:      channel,
+		Gridmap:      gmap,
+		Accounts:     accounts,
+		FineGrained:  cfg.FineGrained,
+	})
+	if err != nil {
+		return nil, err
+	}
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		sp.Close()
+		return nil, err
+	}
+	s := &ServerSession{cfg: cfg, proxy: sp, gmap: gmap, ln: ln}
+	go sp.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the session's listen address.
+func (s *ServerSession) Addr() string { return s.ln.Addr().String() }
+
+// Proxy exposes the underlying proxy (for ACL management).
+func (s *ServerSession) Proxy() *proxy.ServerProxy { return s.proxy }
+
+// Gridmap exposes the live gridmap for per-session sharing updates.
+func (s *ServerSession) Gridmap() *gridmap.Map { return s.gmap }
+
+// Reconfigure applies an updated configuration to the live session:
+// the gridmap is reloaded in place (affecting new connections
+// immediately). Changes to credentials or suite apply to sessions
+// established after the call.
+func (s *ServerSession) Reconfigure(cfg *Config) error {
+	if cfg.GridmapPath != "" && s.gmap != nil {
+		policy := gridmap.Deny
+		if cfg.AnonymousOK {
+			policy = gridmap.Anonymous
+		}
+		fresh, err := gridmap.Load(cfg.GridmapPath, policy)
+		if err != nil {
+			return fmt.Errorf("core: reload gridmap: %w", err)
+		}
+		s.gmap.ReplaceAll(fresh)
+	}
+	s.cfg = cfg
+	return nil
+}
+
+// Close shuts the session down.
+func (s *ServerSession) Close() {
+	s.ln.Close()
+	s.proxy.Close()
+}
+
+// ClientSession is a running client-side SGFS session.
+type ClientSession struct {
+	cfg   *Config
+	proxy *proxy.ClientProxy
+	dc    *cache.DiskCache
+	ln    net.Listener
+}
+
+// StartClientSession assembles and starts a client-side proxy per cfg.
+func StartClientSession(cfg *Config) (*ClientSession, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Role != RoleClient {
+		return nil, fmt.Errorf("core: config role is %q, want client", cfg.Role)
+	}
+	channel, err := loadChannel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var dc *cache.DiskCache
+	if cfg.CacheDir != "" {
+		dc, err = cache.New(cfg.CacheDir, cfg.BlockSize, cfg.CacheBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	server := cfg.Server
+	cp, err := proxy.NewClientProxy(proxy.ClientConfig{
+		ServerDial:    func() (net.Conn, error) { return net.Dial("tcp", server) },
+		Channel:       channel,
+		ExportPath:    cfg.Export,
+		DiskCache:     dc,
+		RekeyInterval: cfg.RekeyInterval,
+	})
+	if err != nil {
+		if dc != nil {
+			dc.Close()
+		}
+		return nil, err
+	}
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		cp.Close()
+		return nil, err
+	}
+	s := &ClientSession{cfg: cfg, proxy: cp, dc: dc, ln: ln}
+	go cp.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the address the local NFS client should mount.
+func (s *ClientSession) Addr() string { return s.ln.Addr().String() }
+
+// Rekey forces an immediate session-key renegotiation.
+func (s *ClientSession) Rekey() error {
+	if ch, ok := s.proxy.Channel(); ok {
+		return ch.Rekey()
+	}
+	return fmt.Errorf("core: session has no secure channel")
+}
+
+// Flush writes back dirty cached data without ending the session.
+func (s *ClientSession) Flush(ctx context.Context) error { return s.proxy.FlushAll(ctx) }
+
+// CacheStats reports disk-cache counters.
+func (s *ClientSession) CacheStats() (cache.Stats, bool) { return s.proxy.CacheStats() }
+
+// Close flushes write-back data and shuts the session down.
+func (s *ClientSession) Close() error {
+	s.ln.Close()
+	err := s.proxy.Close()
+	if s.dc != nil {
+		s.dc.Close()
+	}
+	return err
+}

@@ -1,0 +1,185 @@
+// Package gridmap implements the GSI gridmap file: the mapping from a
+// grid user's certificate distinguished name to a local account name.
+// SGFS consults it per session for export-level access control (§4.3):
+// a DN present in the map gains the mapped local user's rights; an
+// absent DN is mapped to an anonymous account or denied outright,
+// according to the session's policy.
+//
+// The file format matches Globus gridmap files:
+//
+//	"/C=US/O=SGFS Grid/OU=users/CN=alice" alice
+//	# comments and blank lines are ignored
+package gridmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Policy selects what happens to DNs absent from the map.
+type Policy int
+
+// Unmapped-user policies.
+const (
+	// Deny refuses access for unmapped users.
+	Deny Policy = iota
+	// Anonymous maps unmapped users to the anonymous account.
+	Anonymous
+)
+
+// AnonymousAccount is the account name unmapped users receive under
+// the Anonymous policy.
+const AnonymousAccount = "nobody"
+
+// Map is a gridmap: DN → local account. It is safe for concurrent use
+// and may be swapped wholesale on reload (SGFS reconfiguration).
+type Map struct {
+	mu      sync.RWMutex
+	entries map[string]string
+	policy  Policy
+}
+
+// New creates an empty gridmap with the given policy.
+func New(policy Policy) *Map {
+	return &Map{entries: make(map[string]string), policy: policy}
+}
+
+// Parse reads gridmap lines from r.
+func Parse(r io.Reader, policy Policy) (*Map, error) {
+	m := New(policy)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		dn, account, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("gridmap: line %d: %w", lineNo, err)
+		}
+		m.entries[dn] = account
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Load reads a gridmap file from disk.
+func Load(path string, policy Policy) (*Map, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f, policy)
+}
+
+func parseLine(line string) (dn, account string, err error) {
+	if !strings.HasPrefix(line, `"`) {
+		return "", "", fmt.Errorf("distinguished name must be quoted: %q", line)
+	}
+	end := strings.Index(line[1:], `"`)
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated quoted DN: %q", line)
+	}
+	dn = line[1 : 1+end]
+	rest := strings.TrimSpace(line[2+end:])
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", "", fmt.Errorf("expected exactly one account name after DN: %q", line)
+	}
+	return dn, rest, nil
+}
+
+// Lookup maps a DN to a local account. ok is false when the user is
+// denied; under the Anonymous policy unmapped users map to
+// AnonymousAccount with ok true.
+func (m *Map) Lookup(dn string) (account string, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if acct, found := m.entries[dn]; found {
+		return acct, true
+	}
+	if m.policy == Anonymous {
+		return AnonymousAccount, true
+	}
+	return "", false
+}
+
+// Add inserts or replaces a mapping (per-session sharing: a user adds
+// a peer's DN mapped to her own account).
+func (m *Map) Add(dn, account string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[dn] = account
+}
+
+// Remove deletes a mapping.
+func (m *Map) Remove(dn string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.entries, dn)
+}
+
+// Entries returns a copy of all explicit mappings.
+func (m *Map) Entries() map[string]string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]string, len(m.entries))
+	for k, v := range m.entries {
+		out[k] = v
+	}
+	return out
+}
+
+// ReplaceAll swaps in the contents and policy of other — the gridmap
+// reload a live session performs when its configuration file changes.
+func (m *Map) ReplaceAll(other *Map) {
+	other.mu.RLock()
+	entries := make(map[string]string, len(other.entries))
+	for k, v := range other.entries {
+		entries[k] = v
+	}
+	policy := other.policy
+	other.mu.RUnlock()
+	m.mu.Lock()
+	m.entries = entries
+	m.policy = policy
+	m.mu.Unlock()
+}
+
+// Len reports the number of explicit mappings.
+func (m *Map) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// Serialize writes the map in gridmap file format, sorted by DN for
+// stable output.
+func (m *Map) Serialize() []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	dns := make([]string, 0, len(m.entries))
+	for dn := range m.entries {
+		dns = append(dns, dn)
+	}
+	sort.Strings(dns)
+	var b strings.Builder
+	for _, dn := range dns {
+		fmt.Fprintf(&b, "%q %s\n", dn, m.entries[dn])
+	}
+	return []byte(b.String())
+}
+
+// Save writes the map to a file.
+func (m *Map) Save(path string) error {
+	return os.WriteFile(path, m.Serialize(), 0644)
+}

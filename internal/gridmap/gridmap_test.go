@@ -1,0 +1,101 @@
+package gridmap
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `
+# SGFS session gridmap
+"/C=US/O=SGFS Grid/OU=users/CN=alice" alice
+"/C=US/O=SGFS Grid/OU=users/CN=bob"   alice
+"/C=US/O=Other Grid/OU=users/CN=carol" guest
+`
+
+func TestParseAndLookup(t *testing.T) {
+	m, err := Parse(strings.NewReader(sample), Deny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("parsed %d entries", m.Len())
+	}
+	if acct, ok := m.Lookup("/C=US/O=SGFS Grid/OU=users/CN=alice"); !ok || acct != "alice" {
+		t.Fatalf("alice -> %q %v", acct, ok)
+	}
+	// Bob is mapped to alice's account (the paper's sharing pattern).
+	if acct, ok := m.Lookup("/C=US/O=SGFS Grid/OU=users/CN=bob"); !ok || acct != "alice" {
+		t.Fatalf("bob -> %q %v", acct, ok)
+	}
+}
+
+func TestDenyPolicy(t *testing.T) {
+	m, _ := Parse(strings.NewReader(sample), Deny)
+	if _, ok := m.Lookup("/C=US/CN=stranger"); ok {
+		t.Fatal("stranger admitted under Deny policy")
+	}
+}
+
+func TestAnonymousPolicy(t *testing.T) {
+	m, _ := Parse(strings.NewReader(sample), Anonymous)
+	acct, ok := m.Lookup("/C=US/CN=stranger")
+	if !ok || acct != AnonymousAccount {
+		t.Fatalf("stranger -> %q %v", acct, ok)
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	m := New(Deny)
+	m.Add("/CN=x", "xacct")
+	if acct, ok := m.Lookup("/CN=x"); !ok || acct != "xacct" {
+		t.Fatal("add failed")
+	}
+	m.Remove("/CN=x")
+	if _, ok := m.Lookup("/CN=x"); ok {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`/CN=unquoted alice`,
+		`"unterminated alice`,
+		`"/CN=x"`,
+		`"/CN=x" two words`,
+	}
+	for _, line := range bad {
+		if _, err := Parse(strings.NewReader(line), Deny); err == nil {
+			t.Errorf("accepted bad line %q", line)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m, _ := Parse(strings.NewReader(sample), Deny)
+	m2, err := Parse(strings.NewReader(string(m.Serialize())), Deny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != m.Len() {
+		t.Fatalf("round trip lost entries: %d vs %d", m2.Len(), m.Len())
+	}
+	if acct, _ := m2.Lookup("/C=US/O=Other Grid/OU=users/CN=carol"); acct != "guest" {
+		t.Fatal("round trip mangled mapping")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	m, _ := Parse(strings.NewReader(sample), Deny)
+	path := filepath.Join(t.TempDir(), "gridmap")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, Deny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 3 {
+		t.Fatal("load lost entries")
+	}
+}

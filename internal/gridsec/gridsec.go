@@ -1,0 +1,390 @@
+// Package gridsec implements the PKI substrate of the Grid Security
+// Infrastructure (GSI) as SGFS uses it: a certificate authority,
+// X.509 identity certificates for grid users and hosts, GSI-style
+// proxy certificates for delegation, distinguished-name handling, and
+// chain verification that yields the effective grid identity.
+//
+// A grid user is identified by the distinguished name (DN) of their
+// identity certificate, printed in the OpenSSL "oneline" style the
+// gridmap file uses (e.g. "/C=US/O=SGFS/OU=users/CN=alice"). Proxy
+// certificates are signed by the user's own key, carry the user's
+// subject with an extra "CN=proxy" component, and authenticate as the
+// issuing user — this is how services act on a user's behalf
+// (delegation) without holding the user's long-term key.
+package gridsec
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+	"time"
+)
+
+// ProxyCN is the common-name component appended to a subject by each
+// level of proxy-certificate delegation (legacy GSI convention).
+const ProxyCN = "proxy"
+
+// Verification errors.
+var (
+	ErrEmptyChain      = errors.New("gridsec: empty certificate chain")
+	ErrBadProxySubject = errors.New("gridsec: proxy certificate subject does not extend issuer subject with CN=proxy")
+	ErrExpired         = errors.New("gridsec: certificate outside its validity window")
+	ErrNotTrusted      = errors.New("gridsec: identity certificate not signed by a trusted CA")
+)
+
+// CA is a certificate authority that anchors a grid trust domain.
+type CA struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+
+	serial int64
+}
+
+// Credential is an X.509 certificate with its private key and the
+// chain back toward (but not including) the CA. For an identity
+// credential the chain is just the identity certificate; for a proxy
+// credential it is [proxy, ..., identity].
+type Credential struct {
+	Cert  *x509.Certificate
+	Key   *ecdsa.PrivateKey
+	Chain []*x509.Certificate // leaf first
+}
+
+// NewCA creates a self-signed certificate authority for the given
+// organization.
+func NewCA(org string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gridsec: generate CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{Country: []string{"US"}, Organization: []string{org}, CommonName: org + " CA"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("gridsec: self-sign CA: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{Cert: cert, Key: key, serial: 1}, nil
+}
+
+func (ca *CA) issue(subject pkix.Name, lifetime time.Duration) (*Credential, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gridsec: generate key: %w", err)
+	}
+	if ca.serial == 0 {
+		// A CA reloaded from PEM has lost its serial counter; resume
+		// from a timestamp to avoid reissuing old serial numbers.
+		ca.serial = time.Now().UnixNano()
+	}
+	ca.serial++
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(ca.serial),
+		Subject:      subject,
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(lifetime),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth, x509.ExtKeyUsageServerAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.Cert, &key.PublicKey, ca.Key)
+	if err != nil {
+		return nil, fmt.Errorf("gridsec: sign certificate: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Credential{Cert: cert, Key: key, Chain: []*x509.Certificate{cert}}, nil
+}
+
+// IssueUser issues a grid user identity certificate valid for one year.
+func (ca *CA) IssueUser(commonName string) (*Credential, error) {
+	return ca.issue(pkix.Name{
+		Country:            []string{"US"},
+		Organization:       ca.Cert.Subject.Organization,
+		OrganizationalUnit: []string{"users"},
+		CommonName:         commonName,
+	}, 365*24*time.Hour)
+}
+
+// IssueHost issues a host (service) certificate valid for one year.
+func (ca *CA) IssueHost(hostname string) (*Credential, error) {
+	return ca.issue(pkix.Name{
+		Country:            []string{"US"},
+		Organization:       ca.Cert.Subject.Organization,
+		OrganizationalUnit: []string{"hosts"},
+		CommonName:         hostname,
+	}, 365*24*time.Hour)
+}
+
+// Pool returns a certificate pool containing this CA, suitable for
+// chain verification.
+func (ca *CA) Pool() *x509.CertPool {
+	p := x509.NewCertPool()
+	p.AddCert(ca.Cert)
+	return p
+}
+
+// NewSelfSigned creates a standalone self-signed credential, the kind
+// an SFS host or user generates without any certificate authority.
+// It does not verify against any CA pool; peers authenticate it by
+// public-key fingerprint (self-certifying pathnames).
+func NewSelfSigned(commonName string) (*Credential, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gridsec: generate key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(time.Now().UnixNano()),
+		Subject:               pkix.Name{Organization: []string{"self"}, CommonName: commonName},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth, x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Credential{Cert: cert, Key: key, Chain: []*x509.Certificate{cert}}, nil
+}
+
+// KeyFingerprint returns the SHA-256 fingerprint of a certificate's
+// public key, hex-encoded — the "HostID" of SFS self-certifying
+// pathnames.
+func KeyFingerprint(cert *x509.Certificate) string {
+	sum := sha256.Sum256(cert.RawSubjectPublicKeyInfo)
+	return hex.EncodeToString(sum[:])
+}
+
+// IssueProxy creates a GSI-style proxy certificate signed by this
+// credential's key, delegating the credential's identity for the given
+// lifetime. The proxy's subject is this credential's subject with an
+// extra CN=proxy component; verification collapses it back to the
+// issuing identity.
+func (c *Credential) IssueProxy(lifetime time.Duration) (*Credential, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gridsec: generate proxy key: %w", err)
+	}
+	// Legacy GSI proxies append CN=proxy to the issuer's subject.
+	subj := c.Cert.Subject
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		Subject: pkix.Name{
+			Country:            subj.Country,
+			Organization:       subj.Organization,
+			OrganizationalUnit: subj.OrganizationalUnit,
+			CommonName:         subj.CommonName + "/" + ProxyCN,
+		},
+		NotBefore:   time.Now().Add(-time.Minute),
+		NotAfter:    time.Now().Add(lifetime),
+		KeyUsage:    x509.KeyUsageDigitalSignature,
+		ExtKeyUsage: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, c.Cert, &key.PublicKey, c.Key)
+	if err != nil {
+		return nil, fmt.Errorf("gridsec: sign proxy certificate: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	chain := append([]*x509.Certificate{cert}, c.Chain...)
+	return &Credential{Cert: cert, Key: key, Chain: chain}, nil
+}
+
+// DN returns the credential's distinguished name in gridmap form.
+func (c *Credential) DN() string { return DN(c.Cert) }
+
+// EffectiveDN returns the identity DN the credential authenticates as:
+// for a proxy credential, the DN of the end-entity identity
+// certificate at the bottom of the chain.
+func (c *Credential) EffectiveDN() string {
+	return DN(c.Chain[len(c.Chain)-1])
+}
+
+// DN formats a certificate subject in the OpenSSL "oneline" style used
+// by gridmap files: /C=US/O=Org/OU=unit/CN=name.
+func DN(cert *x509.Certificate) string {
+	var b strings.Builder
+	s := cert.Subject
+	for _, v := range s.Country {
+		b.WriteString("/C=" + v)
+	}
+	for _, v := range s.Organization {
+		b.WriteString("/O=" + v)
+	}
+	for _, v := range s.OrganizationalUnit {
+		b.WriteString("/OU=" + v)
+	}
+	if s.CommonName != "" {
+		b.WriteString("/CN=" + s.CommonName)
+	}
+	return b.String()
+}
+
+// isProxyOf reports whether child's subject is parent's subject
+// extended with the proxy marker.
+func isProxyOf(child, parent *x509.Certificate) bool {
+	want := parent.Subject.CommonName + "/" + ProxyCN
+	if child.Subject.CommonName != want {
+		return false
+	}
+	return strings.TrimSuffix(DN(child), "/"+ProxyCN) == DN(parent)
+}
+
+// VerifyChain validates a presented certificate chain (leaf first)
+// against the trusted roots and returns the effective grid identity
+// DN. The chain may be a bare identity certificate or an arbitrary-
+// depth stack of proxy certificates atop one. Each proxy must be
+// inside its validity window, signed by the certificate below it, and
+// carry that certificate's subject extended with CN=proxy. The
+// identity certificate at the base must chain to a trusted CA.
+func VerifyChain(chain []*x509.Certificate, roots *x509.CertPool) (string, error) {
+	return VerifyChainAt(chain, roots, time.Now())
+}
+
+// VerifyChainAt is VerifyChain evaluated at an explicit time, for
+// testing expiry behaviour.
+func VerifyChainAt(chain []*x509.Certificate, roots *x509.CertPool, now time.Time) (string, error) {
+	if len(chain) == 0 {
+		return "", ErrEmptyChain
+	}
+	// Walk proxies from the leaf down to the end-entity identity.
+	for i := 0; i < len(chain)-1; i++ {
+		child, parent := chain[i], chain[i+1]
+		if now.Before(child.NotBefore) || now.After(child.NotAfter) {
+			return "", fmt.Errorf("%w: proxy level %d", ErrExpired, i)
+		}
+		if !isProxyOf(child, parent) {
+			return "", ErrBadProxySubject
+		}
+		if err := child.CheckSignatureFrom(parent); err != nil {
+			// CheckSignatureFrom enforces CA basic constraints which
+			// proxy issuers (end-entity certs) do not satisfy; fall
+			// back to a direct signature check, which is the GSI rule.
+			if err2 := parent.CheckSignature(child.SignatureAlgorithm, child.RawTBSCertificate, child.Signature); err2 != nil {
+				return "", fmt.Errorf("gridsec: proxy signature invalid: %w", err2)
+			}
+		}
+	}
+	eec := chain[len(chain)-1]
+	if _, err := eec.Verify(x509.VerifyOptions{
+		Roots:       roots,
+		CurrentTime: now,
+		KeyUsages:   []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrNotTrusted, err)
+	}
+	return DN(eec), nil
+}
+
+// --- PEM persistence -------------------------------------------------
+
+// SavePEM writes the credential's certificate chain and private key to
+// certPath and keyPath. The key file is created with mode 0600,
+// honouring the GSI convention for private credentials.
+func (c *Credential) SavePEM(certPath, keyPath string) error {
+	var certBuf strings.Builder
+	for _, cert := range c.Chain {
+		pem.Encode(&certBuf, &pem.Block{Type: "CERTIFICATE", Bytes: cert.Raw})
+	}
+	if err := os.WriteFile(certPath, []byte(certBuf.String()), 0644); err != nil {
+		return err
+	}
+	der, err := x509.MarshalECPrivateKey(c.Key)
+	if err != nil {
+		return err
+	}
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: der})
+	return os.WriteFile(keyPath, keyPEM, 0600)
+}
+
+// LoadPEM reads a credential previously written by SavePEM.
+func LoadPEM(certPath, keyPath string) (*Credential, error) {
+	certData, err := os.ReadFile(certPath)
+	if err != nil {
+		return nil, err
+	}
+	var chain []*x509.Certificate
+	for {
+		var block *pem.Block
+		block, certData = pem.Decode(certData)
+		if block == nil {
+			break
+		}
+		if block.Type != "CERTIFICATE" {
+			continue
+		}
+		cert, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			return nil, fmt.Errorf("gridsec: parse certificate: %w", err)
+		}
+		chain = append(chain, cert)
+	}
+	if len(chain) == 0 {
+		return nil, errors.New("gridsec: no certificates in " + certPath)
+	}
+	keyData, err := os.ReadFile(keyPath)
+	if err != nil {
+		return nil, err
+	}
+	block, _ := pem.Decode(keyData)
+	if block == nil {
+		return nil, errors.New("gridsec: no PEM block in " + keyPath)
+	}
+	key, err := x509.ParseECPrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("gridsec: parse private key: %w", err)
+	}
+	return &Credential{Cert: chain[0], Key: key, Chain: chain}, nil
+}
+
+// SaveCertPEM writes just the CA certificate for distribution as a
+// trust anchor.
+func (ca *CA) SaveCertPEM(path string) error {
+	data := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: ca.Cert.Raw})
+	return os.WriteFile(path, data, 0644)
+}
+
+// LoadCAPool reads one or more PEM CA certificates into a pool.
+func LoadCAPool(paths ...string) (*x509.CertPool, error) {
+	pool := x509.NewCertPool()
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if !pool.AppendCertsFromPEM(data) {
+			return nil, errors.New("gridsec: no CA certificates in " + p)
+		}
+	}
+	return pool, nil
+}

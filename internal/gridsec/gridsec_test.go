@@ -1,0 +1,212 @@
+package gridsec
+
+import (
+	"crypto/x509"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA("SGFS Test Grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func TestIssueUserDN(t *testing.T) {
+	ca := newTestCA(t)
+	alice, err := ca.IssueUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn := alice.DN()
+	if !strings.HasPrefix(dn, "/C=US/O=SGFS Test Grid/OU=users/CN=alice") {
+		t.Fatalf("unexpected DN %q", dn)
+	}
+	if alice.EffectiveDN() != dn {
+		t.Fatal("identity credential's effective DN must equal its own DN")
+	}
+}
+
+func TestVerifyIdentityChain(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueUser("alice")
+	dn, err := VerifyChain(alice.Chain, ca.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != alice.DN() {
+		t.Fatalf("got %q want %q", dn, alice.DN())
+	}
+}
+
+func TestVerifyRejectsUntrustedCA(t *testing.T) {
+	ca := newTestCA(t)
+	other := newTestCA(t)
+	mallory, _ := other.IssueUser("mallory")
+	if _, err := VerifyChain(mallory.Chain, ca.Pool()); !errors.Is(err, ErrNotTrusted) {
+		t.Fatalf("got %v, want ErrNotTrusted", err)
+	}
+}
+
+func TestProxyDelegation(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueUser("alice")
+	proxy, err := alice.IssueProxy(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proxy.Chain) != 2 {
+		t.Fatalf("proxy chain length %d, want 2", len(proxy.Chain))
+	}
+	if !strings.HasSuffix(proxy.DN(), "/CN=alice/proxy") {
+		t.Fatalf("proxy DN %q lacks proxy marker", proxy.DN())
+	}
+	dn, err := VerifyChain(proxy.Chain, ca.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != alice.DN() {
+		t.Fatalf("proxy authenticated as %q, want %q", dn, alice.DN())
+	}
+	if proxy.EffectiveDN() != alice.DN() {
+		t.Fatal("EffectiveDN should collapse to the identity DN")
+	}
+}
+
+func TestNestedProxyDelegation(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueUser("alice")
+	p1, _ := alice.IssueProxy(time.Hour)
+	p2, err := p1.IssueProxy(30 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Chain) != 3 {
+		t.Fatalf("chain length %d, want 3", len(p2.Chain))
+	}
+	dn, err := VerifyChain(p2.Chain, ca.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != alice.DN() {
+		t.Fatalf("nested proxy authenticated as %q", dn)
+	}
+}
+
+func TestExpiredProxyRejected(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueUser("alice")
+	proxy, _ := alice.IssueProxy(time.Hour)
+	future := time.Now().Add(2 * time.Hour)
+	if _, err := VerifyChainAt(proxy.Chain, ca.Pool(), future); !errors.Is(err, ErrExpired) {
+		t.Fatalf("got %v, want ErrExpired", err)
+	}
+}
+
+func TestForgedProxyRejected(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueUser("alice")
+	bob, _ := ca.IssueUser("bob")
+	// Bob signs a proxy for himself, then presents it atop Alice's cert.
+	bobProxy, _ := bob.IssueProxy(time.Hour)
+	forged := []*x509.Certificate{bobProxy.Cert, alice.Cert}
+	if _, err := VerifyChain(forged, ca.Pool()); err == nil {
+		t.Fatal("forged proxy chain accepted")
+	}
+}
+
+func TestProxySubjectTamperRejected(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueUser("alice")
+	bob, _ := ca.IssueUser("bob")
+	// A proxy correctly issued by bob must not verify against alice's
+	// identity even if an attacker splices chains.
+	bobProxy, _ := bob.IssueProxy(time.Hour)
+	spliced := []*x509.Certificate{bobProxy.Cert, alice.Cert}
+	_, err := VerifyChain(spliced, ca.Pool())
+	if !errors.Is(err, ErrBadProxySubject) {
+		t.Fatalf("got %v, want ErrBadProxySubject", err)
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	ca := newTestCA(t)
+	if _, err := VerifyChain(nil, ca.Pool()); !errors.Is(err, ErrEmptyChain) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestHostCertificate(t *testing.T) {
+	ca := newTestCA(t)
+	host, err := ca.IssueHost("fileserver.grid.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(host.DN(), "/OU=hosts/CN=fileserver.grid.example") {
+		t.Fatalf("host DN %q", host.DN())
+	}
+	if _, err := VerifyChain(host.Chain, ca.Pool()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPEMRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueUser("alice")
+	proxy, _ := alice.IssueProxy(time.Hour)
+	dir := t.TempDir()
+	certPath := filepath.Join(dir, "proxy.pem")
+	keyPath := filepath.Join(dir, "proxy.key")
+	if err := proxy.SavePEM(certPath, keyPath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPEM(certPath, keyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Chain) != 2 {
+		t.Fatalf("loaded chain length %d", len(loaded.Chain))
+	}
+	dn, err := VerifyChain(loaded.Chain, ca.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != alice.DN() {
+		t.Fatalf("reloaded proxy authenticates as %q", dn)
+	}
+	if !loaded.Key.PublicKey.Equal(&proxy.Key.PublicKey) {
+		t.Fatal("reloaded key mismatch")
+	}
+}
+
+func TestCACertPEMAndPool(t *testing.T) {
+	ca := newTestCA(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ca.pem")
+	if err := ca.SaveCertPEM(path); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := LoadCAPool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := ca.IssueUser("alice")
+	if _, err := VerifyChain(alice.Chain, pool); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctUsersDistinctDNs(t *testing.T) {
+	ca := newTestCA(t)
+	a, _ := ca.IssueUser("alice")
+	b, _ := ca.IssueUser("bob")
+	if a.DN() == b.DN() {
+		t.Fatal("distinct users share a DN")
+	}
+}

@@ -1,0 +1,114 @@
+// Package idmap implements the identity mapping the SGFS server-side
+// proxy applies to authorized requests (§4.3): the UNIX credentials in
+// each forwarded NFS RPC are replaced with the credentials of the
+// local account the grid user maps to, so the kernel NFS server grants
+// access as that account. Client-side UIDs never cross the trust
+// boundary unmapped.
+package idmap
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Account is a local account on the file server.
+type Account struct {
+	Name string
+	UID  uint32
+	GID  uint32
+	// GIDs are supplementary groups.
+	GIDs []uint32
+}
+
+// Table is the registry of local accounts, keyed by name. It is safe
+// for concurrent use.
+type Table struct {
+	mu       sync.RWMutex
+	accounts map[string]Account
+}
+
+// NewTable creates a table pre-populated with the anonymous account
+// (uid/gid 65534, the classic "nobody").
+func NewTable() *Table {
+	t := &Table{accounts: make(map[string]Account)}
+	t.Add(Account{Name: "nobody", UID: 65534, GID: 65534})
+	return t
+}
+
+// Add registers an account.
+func (t *Table) Add(a Account) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.accounts[a.Name] = a
+}
+
+// Lookup finds an account by name.
+func (t *Table) Lookup(name string) (Account, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	a, ok := t.accounts[name]
+	return a, ok
+}
+
+// All returns a copy of every registered account.
+func (t *Table) All() []Account {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Account, 0, len(t.accounts))
+	for _, a := range t.accounts {
+		out = append(out, a)
+	}
+	return out
+}
+
+// LoadFile reads an accounts table: one account per line in the form
+// "name uid gid [gid...]", with #-comments and blank lines ignored.
+func LoadFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t := NewTable()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("idmap: %s:%d: expected name uid gid", path, lineNo)
+		}
+		a := Account{Name: fields[0]}
+		ids := make([]uint32, 0, len(fields)-1)
+		for _, fld := range fields[1:] {
+			v, err := strconv.ParseUint(fld, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("idmap: %s:%d: bad id %q", path, lineNo, fld)
+			}
+			ids = append(ids, uint32(v))
+		}
+		a.UID, a.GID = ids[0], ids[1]
+		a.GIDs = ids[2:]
+		t.Add(a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustLookup finds an account or returns an error naming it.
+func (t *Table) MustLookup(name string) (Account, error) {
+	if a, ok := t.Lookup(name); ok {
+		return a, nil
+	}
+	return Account{}, fmt.Errorf("idmap: no local account %q", name)
+}

@@ -1,0 +1,92 @@
+package idmap
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	tab := NewTable()
+	tab.Add(Account{Name: "alice", UID: 5001, GID: 500, GIDs: []uint32{500, 1000}})
+	a, ok := tab.Lookup("alice")
+	if !ok || a.UID != 5001 || a.GID != 500 {
+		t.Fatalf("lookup: %+v %v", a, ok)
+	}
+	if _, ok := tab.Lookup("ghost"); ok {
+		t.Fatal("ghost account found")
+	}
+	if _, err := tab.MustLookup("ghost"); err == nil {
+		t.Fatal("MustLookup(ghost) succeeded")
+	}
+	// The anonymous account is pre-registered.
+	nobody, ok := tab.Lookup("nobody")
+	if !ok || nobody.UID != 65534 {
+		t.Fatalf("nobody: %+v %v", nobody, ok)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tab := NewTable()
+	tab.Add(Account{Name: "u", UID: 1})
+	tab.Add(Account{Name: "u", UID: 2})
+	a, _ := tab.Lookup("u")
+	if a.UID != 2 {
+		t.Fatal("overwrite failed")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "accounts")
+	content := `
+# local accounts for the SGFS export
+alice 5001 500
+bob   5002 500 1000 2000
+`
+	if err := os.WriteFile(path, []byte(content), 0644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := tab.Lookup("alice")
+	if !ok || a.UID != 5001 || a.GID != 500 || len(a.GIDs) != 0 {
+		t.Fatalf("alice: %+v %v", a, ok)
+	}
+	b, ok := tab.Lookup("bob")
+	if !ok || b.UID != 5002 || len(b.GIDs) != 2 || b.GIDs[1] != 2000 {
+		t.Fatalf("bob: %+v %v", b, ok)
+	}
+	// The anonymous account survives loading.
+	if _, ok := tab.Lookup("nobody"); !ok {
+		t.Fatal("nobody missing after load")
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"short.acct":  "alice 5001\n",       // missing gid
+		"nonnum.acct": "alice five hundred", // non-numeric
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		os.WriteFile(p, []byte(content), 0644)
+		if _, err := LoadFile(p); err == nil {
+			t.Errorf("%s: accepted bad accounts file", name)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAll(t *testing.T) {
+	tab := NewTable()
+	tab.Add(Account{Name: "x", UID: 1, GID: 1})
+	tab.Add(Account{Name: "y", UID: 2, GID: 2})
+	if got := len(tab.All()); got != 3 { // x, y, nobody
+		t.Fatalf("All returned %d accounts", got)
+	}
+}

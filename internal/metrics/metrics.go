@@ -1,0 +1,121 @@
+// Package metrics provides the work metering used to regenerate the
+// paper's CPU utilization figures (Figures 5 and 6): per-component
+// busy-time accumulation sampled over fixed windows, yielding the
+// "user CPU time %" series for each proxy or daemon, plus process-wide
+// rusage readings.
+package metrics
+
+import (
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Meter accumulates the wall-clock time a component spends doing work
+// (RPC processing, cryptography, cache management). Sampled
+// periodically it yields a utilization percentage comparable to the
+// paper's per-process CPU measurements.
+type Meter struct {
+	mu   sync.Mutex
+	busy time.Duration
+}
+
+// Add records d of work time.
+func (m *Meter) Add(d time.Duration) {
+	m.mu.Lock()
+	m.busy += d
+	m.mu.Unlock()
+}
+
+// Track runs f and records its duration.
+func (m *Meter) Track(f func()) {
+	start := time.Now()
+	f()
+	m.Add(time.Since(start))
+}
+
+// Busy returns the accumulated work time.
+func (m *Meter) Busy() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.busy
+}
+
+// Window is one utilization sample.
+type Window struct {
+	// Start is the window's offset from the beginning of sampling.
+	Start time.Duration
+	// BusyPct is the fraction of the window spent busy, in percent.
+	BusyPct float64
+}
+
+// Sampler converts a Meter into periodic utilization windows.
+type Sampler struct {
+	meter    *Meter
+	interval time.Duration
+
+	mu      sync.Mutex
+	windows []Window
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewSampler starts sampling meter every interval.
+func NewSampler(meter *Meter, interval time.Duration) *Sampler {
+	s := &Sampler{
+		meter:    meter,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	start := time.Now()
+	prev := s.meter.Busy()
+	for {
+		select {
+		case <-t.C:
+			cur := s.meter.Busy()
+			pct := float64(cur-prev) / float64(s.interval) * 100
+			if pct > 100 {
+				pct = 100 // concurrent handlers can exceed one core
+			}
+			if pct < 0 {
+				pct = 0 // wait-credits can transiently outpace work
+			}
+			s.mu.Lock()
+			s.windows = append(s.windows, Window{Start: time.Since(start), BusyPct: pct})
+			s.mu.Unlock()
+			prev = cur
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Stop ends sampling and returns the collected windows.
+func (s *Sampler) Stop() []Window {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.windows
+}
+
+// ProcessCPU returns the process's cumulative user and system CPU
+// time from rusage.
+func ProcessCPU() (user, system time.Duration) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	user = time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond
+	system = time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond
+	return user, system
+}

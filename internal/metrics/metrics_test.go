@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.Add(10 * time.Millisecond)
+	m.Add(5 * time.Millisecond)
+	if got := m.Busy(); got != 15*time.Millisecond {
+		t.Fatalf("busy %v", got)
+	}
+}
+
+func TestMeterTrack(t *testing.T) {
+	var m Meter
+	m.Track(func() { time.Sleep(20 * time.Millisecond) })
+	if m.Busy() < 15*time.Millisecond {
+		t.Fatalf("track recorded %v", m.Busy())
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Add(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Busy(); got != 3200*time.Microsecond {
+		t.Fatalf("busy %v", got)
+	}
+}
+
+func TestSamplerWindows(t *testing.T) {
+	var m Meter
+	s := NewSampler(&m, 20*time.Millisecond)
+	// Simulate ~50% utilization across a few windows.
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		m.Add(10 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond)
+	}
+	windows := s.Stop()
+	if len(windows) < 3 {
+		t.Fatalf("only %d windows", len(windows))
+	}
+	var sum float64
+	for _, w := range windows {
+		if w.BusyPct < 0 || w.BusyPct > 100 {
+			t.Fatalf("window out of range: %+v", w)
+		}
+		sum += w.BusyPct
+	}
+	if avg := sum / float64(len(windows)); avg < 10 || avg > 95 {
+		t.Fatalf("average utilization %v implausible for ~50%% load", avg)
+	}
+}
+
+func TestSamplerClamps(t *testing.T) {
+	var m Meter
+	s := NewSampler(&m, 10*time.Millisecond)
+	// Concurrent handlers can accumulate more busy-time than
+	// wall-clock; the sampler clamps to 100.
+	m.Add(10 * time.Second)
+	time.Sleep(30 * time.Millisecond)
+	for _, w := range s.Stop() {
+		if w.BusyPct > 100 {
+			t.Fatalf("window %v not clamped", w.BusyPct)
+		}
+	}
+}
+
+func TestProcessCPU(t *testing.T) {
+	u1, s1 := ProcessCPU()
+	// Burn some CPU.
+	x := 0
+	for i := 0; i < 50_000_000; i++ {
+		x += i
+	}
+	_ = x
+	u2, s2 := ProcessCPU()
+	if u2+s2 < u1+s1 {
+		t.Fatal("rusage went backwards")
+	}
+	if u2 == 0 && s2 == 0 {
+		t.Fatal("rusage returned zero after work")
+	}
+}

@@ -1,0 +1,237 @@
+// Package mountd implements the MOUNT version 3 protocol (RFC 1813
+// Appendix I) used by NFS clients to obtain the root file handle of an
+// exported file system.
+//
+// The server keeps an exports table mapping export paths to backend
+// file systems and an allowed-client list, mirroring the kernel
+// exports file of the paper's deployment where the shared file system
+// is exported only to localhost and remote access flows through the
+// SGFS proxy (§5).
+package mountd
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/nfs3"
+	"repro/internal/oncrpc"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// ONC RPC program number and version for MOUNT.
+const (
+	Program = 100005
+	Version = 3
+)
+
+// MOUNT procedure numbers.
+const (
+	ProcNull    = 0
+	ProcMnt     = 1
+	ProcDump    = 2
+	ProcUmnt    = 3
+	ProcUmntAll = 4
+	ProcExport  = 5
+)
+
+// Mount status codes.
+const (
+	MntOK     = 0
+	MntAccess = 13
+	MntNoEnt  = 2
+	MntInval  = 22
+)
+
+// MntArgs is the dirpath argument of MNT and UMNT.
+type MntArgs struct{ Path string }
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *MntArgs) EncodeXDR(e *xdr.Encoder) { e.String(a.Path) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *MntArgs) DecodeXDR(d *xdr.Decoder) { a.Path = d.String() }
+
+// MntRes is the MNT result: a file handle plus accepted auth flavors.
+type MntRes struct {
+	Status  uint32
+	FH      nfs3.FH3
+	Flavors []uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *MntRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(r.Status)
+	if r.Status == MntOK {
+		r.FH.EncodeXDR(e)
+		e.Uint32(uint32(len(r.Flavors)))
+		for _, f := range r.Flavors {
+			e.Uint32(f)
+		}
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *MntRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = d.Uint32()
+	if r.Status == MntOK {
+		r.FH.DecodeXDR(d)
+		n := d.Uint32()
+		if n > 16 {
+			return
+		}
+		r.Flavors = make([]uint32, n)
+		for i := range r.Flavors {
+			r.Flavors[i] = d.Uint32()
+		}
+	}
+}
+
+// ExportEntry describes one export in an EXPORT reply.
+type ExportEntry struct {
+	Path   string
+	Groups []string
+}
+
+// ExportRes is the EXPORT result list.
+type ExportRes struct{ Exports []ExportEntry }
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *ExportRes) EncodeXDR(e *xdr.Encoder) {
+	for _, ex := range r.Exports {
+		e.OptionalBegin(true)
+		e.String(ex.Path)
+		for _, g := range ex.Groups {
+			e.OptionalBegin(true)
+			e.String(g)
+		}
+		e.OptionalBegin(false)
+	}
+	e.OptionalBegin(false)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *ExportRes) DecodeXDR(d *xdr.Decoder) {
+	r.Exports = nil
+	for d.OptionalPresent() {
+		var ex ExportEntry
+		ex.Path = d.String()
+		for d.OptionalPresent() {
+			ex.Groups = append(ex.Groups, d.String())
+			if d.Err() != nil {
+				return
+			}
+		}
+		r.Exports = append(r.Exports, ex)
+		if d.Err() != nil {
+			return
+		}
+	}
+}
+
+// Export binds an exported path to a backend and client restrictions.
+type Export struct {
+	Path string
+	FS   vfs.FS
+	// AllowedHosts lists host prefixes permitted to mount; empty means
+	// localhost only, per the paper's server-side deployment rule.
+	AllowedHosts []string
+}
+
+// Server is the mount daemon.
+type Server struct {
+	mu      sync.RWMutex
+	exports map[string]*Export
+}
+
+// NewServer creates an empty mount daemon.
+func NewServer() *Server { return &Server{exports: make(map[string]*Export)} }
+
+// AddExport registers an export.
+func (s *Server) AddExport(e *Export) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exports[e.Path] = e
+}
+
+// RemoveExport withdraws an export.
+func (s *Server) RemoveExport(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.exports, path)
+}
+
+// Register installs the MOUNT program on an RPC server.
+func (s *Server) Register(r *oncrpc.Server) {
+	r.Register(Program, Version, map[uint32]oncrpc.Handler{
+		ProcMnt:    s.mnt,
+		ProcUmnt:   s.umnt,
+		ProcExport: s.export,
+	})
+}
+
+func hostAllowed(e *Export, addr net.Addr) bool {
+	host := ""
+	if addr != nil {
+		host, _, _ = net.SplitHostPort(addr.String())
+	}
+	if len(e.AllowedHosts) == 0 {
+		return host == "127.0.0.1" || host == "::1" || host == "" ||
+			strings.HasPrefix(addr.String(), "pipe") // in-process transports
+	}
+	for _, allowed := range e.AllowedHosts {
+		if allowed == "*" || strings.HasPrefix(host, allowed) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) mnt(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a MntArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	s.mu.RLock()
+	e, ok := s.exports[a.Path]
+	s.mu.RUnlock()
+	if !ok {
+		return &MntRes{Status: MntNoEnt}, oncrpc.Success
+	}
+	var remote net.Addr
+	if call.Conn != nil {
+		remote = call.Conn.RemoteAddr()
+	}
+	if !hostAllowed(e, remote) {
+		return &MntRes{Status: MntAccess}, oncrpc.Success
+	}
+	return &MntRes{
+		Status:  MntOK,
+		FH:      nfs3.FromHandle(e.FS.Root()),
+		Flavors: []uint32{oncrpc.AuthFlavorSys},
+	}, oncrpc.Success
+}
+
+func (s *Server) umnt(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a MntArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	return nil, oncrpc.Success // void reply
+}
+
+func (s *Server) export(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := &ExportRes{}
+	for path, e := range s.exports {
+		groups := e.AllowedHosts
+		if len(groups) == 0 {
+			groups = []string{"localhost"}
+		}
+		res.Exports = append(res.Exports, ExportEntry{Path: path, Groups: groups})
+	}
+	return res, oncrpc.Success
+}

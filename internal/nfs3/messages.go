@@ -1,0 +1,849 @@
+package nfs3
+
+import "repro/internal/xdr"
+
+// Write stability levels (stable_how).
+const (
+	Unstable = 0
+	DataSync = 1
+	FileSync = 2
+)
+
+// Create modes (createmode3).
+const (
+	CreateUnchecked = 0
+	CreateGuarded   = 1
+	CreateExclusive = 2
+)
+
+// WriteVerfSize is the size of write and cookie verifiers.
+const WriteVerfSize = 8
+
+// GetAttrArgs is GETATTR3args.
+type GetAttrArgs struct{ Obj FH3 }
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *GetAttrArgs) EncodeXDR(e *xdr.Encoder) { a.Obj.EncodeXDR(e) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *GetAttrArgs) DecodeXDR(d *xdr.Decoder) { a.Obj.DecodeXDR(d) }
+
+// GetAttrRes is GETATTR3res.
+type GetAttrRes struct {
+	Status Status
+	Attr   Fattr3
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *GetAttrRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Attr.EncodeXDR(e)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *GetAttrRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	if r.Status == OK {
+		r.Attr.DecodeXDR(d)
+	}
+}
+
+// SetAttrArgs is SETATTR3args.
+type SetAttrArgs struct {
+	Obj        FH3
+	Attr       Sattr3
+	GuardCheck bool
+	GuardCtime NFSTime
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *SetAttrArgs) EncodeXDR(e *xdr.Encoder) {
+	a.Obj.EncodeXDR(e)
+	a.Attr.EncodeXDR(e)
+	e.OptionalBegin(a.GuardCheck)
+	if a.GuardCheck {
+		a.GuardCtime.enc(e)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *SetAttrArgs) DecodeXDR(d *xdr.Decoder) {
+	a.Obj.DecodeXDR(d)
+	a.Attr.DecodeXDR(d)
+	if a.GuardCheck = d.OptionalPresent(); a.GuardCheck {
+		a.GuardCtime.dec(d)
+	}
+}
+
+// WccRes is the common {status, wcc_data} result (SETATTR, REMOVE,
+// RMDIR).
+type WccRes struct {
+	Status Status
+	Wcc    WccData
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *WccRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Wcc.EncodeXDR(e)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *WccRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Wcc.DecodeXDR(d)
+}
+
+// LookupArgs is LOOKUP3args.
+type LookupArgs struct{ What DirOpArgs }
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *LookupArgs) EncodeXDR(e *xdr.Encoder) { a.What.EncodeXDR(e) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *LookupArgs) DecodeXDR(d *xdr.Decoder) { a.What.DecodeXDR(d) }
+
+// LookupRes is LOOKUP3res.
+type LookupRes struct {
+	Status  Status
+	Obj     FH3
+	Attr    PostOpAttr
+	DirAttr PostOpAttr
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *LookupRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Obj.EncodeXDR(e)
+		r.Attr.EncodeXDR(e)
+	}
+	r.DirAttr.EncodeXDR(e)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *LookupRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	if r.Status == OK {
+		r.Obj.DecodeXDR(d)
+		r.Attr.DecodeXDR(d)
+	}
+	r.DirAttr.DecodeXDR(d)
+}
+
+// AccessArgs is ACCESS3args.
+type AccessArgs struct {
+	Obj    FH3
+	Access uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *AccessArgs) EncodeXDR(e *xdr.Encoder) { a.Obj.EncodeXDR(e); e.Uint32(a.Access) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *AccessArgs) DecodeXDR(d *xdr.Decoder) { a.Obj.DecodeXDR(d); a.Access = d.Uint32() }
+
+// AccessRes is ACCESS3res.
+type AccessRes struct {
+	Status Status
+	Attr   PostOpAttr
+	Access uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *AccessRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.EncodeXDR(e)
+	if r.Status == OK {
+		e.Uint32(r.Access)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *AccessRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Attr.DecodeXDR(d)
+	if r.Status == OK {
+		r.Access = d.Uint32()
+	}
+}
+
+// ReadLinkArgs is READLINK3args.
+type ReadLinkArgs struct{ Obj FH3 }
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *ReadLinkArgs) EncodeXDR(e *xdr.Encoder) { a.Obj.EncodeXDR(e) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *ReadLinkArgs) DecodeXDR(d *xdr.Decoder) { a.Obj.DecodeXDR(d) }
+
+// ReadLinkRes is READLINK3res.
+type ReadLinkRes struct {
+	Status Status
+	Attr   PostOpAttr
+	Target string
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *ReadLinkRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.EncodeXDR(e)
+	if r.Status == OK {
+		e.String(r.Target)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *ReadLinkRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Attr.DecodeXDR(d)
+	if r.Status == OK {
+		r.Target = d.String()
+	}
+}
+
+// ReadArgs is READ3args.
+type ReadArgs struct {
+	Obj    FH3
+	Offset uint64
+	Count  uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *ReadArgs) EncodeXDR(e *xdr.Encoder) {
+	a.Obj.EncodeXDR(e)
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *ReadArgs) DecodeXDR(d *xdr.Decoder) {
+	a.Obj.DecodeXDR(d)
+	a.Offset = d.Uint64()
+	a.Count = d.Uint32()
+}
+
+// ReadRes is READ3res.
+type ReadRes struct {
+	Status Status
+	Attr   PostOpAttr
+	Count  uint32
+	EOF    bool
+	Data   []byte
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *ReadRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.EncodeXDR(e)
+	if r.Status == OK {
+		e.Uint32(r.Count)
+		e.Bool(r.EOF)
+		e.Opaque(r.Data)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *ReadRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Attr.DecodeXDR(d)
+	if r.Status == OK {
+		r.Count = d.Uint32()
+		r.EOF = d.Bool()
+		r.Data = d.Opaque()
+	}
+}
+
+// WriteArgs is WRITE3args.
+type WriteArgs struct {
+	Obj    FH3
+	Offset uint64
+	Count  uint32
+	Stable uint32
+	Data   []byte
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *WriteArgs) EncodeXDR(e *xdr.Encoder) {
+	a.Obj.EncodeXDR(e)
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+	e.Uint32(a.Stable)
+	e.Opaque(a.Data)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *WriteArgs) DecodeXDR(d *xdr.Decoder) {
+	a.Obj.DecodeXDR(d)
+	a.Offset = d.Uint64()
+	a.Count = d.Uint32()
+	a.Stable = d.Uint32()
+	a.Data = d.Opaque()
+}
+
+// WriteRes is WRITE3res.
+type WriteRes struct {
+	Status    Status
+	Wcc       WccData
+	Count     uint32
+	Committed uint32
+	Verf      [WriteVerfSize]byte
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *WriteRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Wcc.EncodeXDR(e)
+	if r.Status == OK {
+		e.Uint32(r.Count)
+		e.Uint32(r.Committed)
+		e.FixedOpaque(r.Verf[:])
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *WriteRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Wcc.DecodeXDR(d)
+	if r.Status == OK {
+		r.Count = d.Uint32()
+		r.Committed = d.Uint32()
+		d.FixedOpaque(r.Verf[:])
+	}
+}
+
+// CreateArgs is CREATE3args.
+type CreateArgs struct {
+	Where DirOpArgs
+	Mode  uint32 // createmode3
+	Attr  Sattr3
+	Verf  [WriteVerfSize]byte // exclusive create verifier
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *CreateArgs) EncodeXDR(e *xdr.Encoder) {
+	a.Where.EncodeXDR(e)
+	e.Uint32(a.Mode)
+	if a.Mode == CreateExclusive {
+		e.FixedOpaque(a.Verf[:])
+	} else {
+		a.Attr.EncodeXDR(e)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *CreateArgs) DecodeXDR(d *xdr.Decoder) {
+	a.Where.DecodeXDR(d)
+	a.Mode = d.Uint32()
+	if a.Mode == CreateExclusive {
+		d.FixedOpaque(a.Verf[:])
+	} else {
+		a.Attr.DecodeXDR(d)
+	}
+}
+
+// CreateRes is CREATE3res, shared by MKDIR and SYMLINK.
+type CreateRes struct {
+	Status Status
+	Obj    PostOpFH3
+	Attr   PostOpAttr
+	DirWcc WccData
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *CreateRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Obj.EncodeXDR(e)
+		r.Attr.EncodeXDR(e)
+	}
+	r.DirWcc.EncodeXDR(e)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *CreateRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	if r.Status == OK {
+		r.Obj.DecodeXDR(d)
+		r.Attr.DecodeXDR(d)
+	}
+	r.DirWcc.DecodeXDR(d)
+}
+
+// MkdirArgs is MKDIR3args.
+type MkdirArgs struct {
+	Where DirOpArgs
+	Attr  Sattr3
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *MkdirArgs) EncodeXDR(e *xdr.Encoder) { a.Where.EncodeXDR(e); a.Attr.EncodeXDR(e) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *MkdirArgs) DecodeXDR(d *xdr.Decoder) { a.Where.DecodeXDR(d); a.Attr.DecodeXDR(d) }
+
+// SymlinkArgs is SYMLINK3args.
+type SymlinkArgs struct {
+	Where  DirOpArgs
+	Attr   Sattr3
+	Target string
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *SymlinkArgs) EncodeXDR(e *xdr.Encoder) {
+	a.Where.EncodeXDR(e)
+	a.Attr.EncodeXDR(e)
+	e.String(a.Target)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *SymlinkArgs) DecodeXDR(d *xdr.Decoder) {
+	a.Where.DecodeXDR(d)
+	a.Attr.DecodeXDR(d)
+	a.Target = d.String()
+}
+
+// RemoveArgs is REMOVE3args / RMDIR3args.
+type RemoveArgs struct{ Obj DirOpArgs }
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *RemoveArgs) EncodeXDR(e *xdr.Encoder) { a.Obj.EncodeXDR(e) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *RemoveArgs) DecodeXDR(d *xdr.Decoder) { a.Obj.DecodeXDR(d) }
+
+// RenameArgs is RENAME3args.
+type RenameArgs struct {
+	From DirOpArgs
+	To   DirOpArgs
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *RenameArgs) EncodeXDR(e *xdr.Encoder) { a.From.EncodeXDR(e); a.To.EncodeXDR(e) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *RenameArgs) DecodeXDR(d *xdr.Decoder) { a.From.DecodeXDR(d); a.To.DecodeXDR(d) }
+
+// RenameRes is RENAME3res.
+type RenameRes struct {
+	Status  Status
+	FromWcc WccData
+	ToWcc   WccData
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *RenameRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.FromWcc.EncodeXDR(e)
+	r.ToWcc.EncodeXDR(e)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *RenameRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.FromWcc.DecodeXDR(d)
+	r.ToWcc.DecodeXDR(d)
+}
+
+// LinkArgs is LINK3args.
+type LinkArgs struct {
+	Obj  FH3
+	Link DirOpArgs
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *LinkArgs) EncodeXDR(e *xdr.Encoder) { a.Obj.EncodeXDR(e); a.Link.EncodeXDR(e) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *LinkArgs) DecodeXDR(d *xdr.Decoder) { a.Obj.DecodeXDR(d); a.Link.DecodeXDR(d) }
+
+// LinkRes is LINK3res.
+type LinkRes struct {
+	Status  Status
+	Attr    PostOpAttr
+	LinkWcc WccData
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *LinkRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.EncodeXDR(e)
+	r.LinkWcc.EncodeXDR(e)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *LinkRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Attr.DecodeXDR(d)
+	r.LinkWcc.DecodeXDR(d)
+}
+
+// ReadDirArgs is READDIR3args.
+type ReadDirArgs struct {
+	Dir        FH3
+	Cookie     uint64
+	CookieVerf [WriteVerfSize]byte
+	Count      uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *ReadDirArgs) EncodeXDR(e *xdr.Encoder) {
+	a.Dir.EncodeXDR(e)
+	e.Uint64(a.Cookie)
+	e.FixedOpaque(a.CookieVerf[:])
+	e.Uint32(a.Count)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *ReadDirArgs) DecodeXDR(d *xdr.Decoder) {
+	a.Dir.DecodeXDR(d)
+	a.Cookie = d.Uint64()
+	d.FixedOpaque(a.CookieVerf[:])
+	a.Count = d.Uint32()
+}
+
+// DirEntry3 is one READDIR entry.
+type DirEntry3 struct {
+	FileID uint64
+	Name   string
+	Cookie uint64
+}
+
+// ReadDirRes is READDIR3res.
+type ReadDirRes struct {
+	Status     Status
+	DirAttr    PostOpAttr
+	CookieVerf [WriteVerfSize]byte
+	Entries    []DirEntry3
+	EOF        bool
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *ReadDirRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.DirAttr.EncodeXDR(e)
+	if r.Status != OK {
+		return
+	}
+	e.FixedOpaque(r.CookieVerf[:])
+	for i := range r.Entries {
+		e.OptionalBegin(true)
+		e.Uint64(r.Entries[i].FileID)
+		e.String(r.Entries[i].Name)
+		e.Uint64(r.Entries[i].Cookie)
+	}
+	e.OptionalBegin(false)
+	e.Bool(r.EOF)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *ReadDirRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.DirAttr.DecodeXDR(d)
+	if r.Status != OK {
+		return
+	}
+	d.FixedOpaque(r.CookieVerf[:])
+	r.Entries = nil
+	for d.OptionalPresent() {
+		var ent DirEntry3
+		ent.FileID = d.Uint64()
+		ent.Name = d.String()
+		ent.Cookie = d.Uint64()
+		r.Entries = append(r.Entries, ent)
+		if d.Err() != nil {
+			return
+		}
+	}
+	r.EOF = d.Bool()
+}
+
+// ReadDirPlusArgs is READDIRPLUS3args.
+type ReadDirPlusArgs struct {
+	Dir        FH3
+	Cookie     uint64
+	CookieVerf [WriteVerfSize]byte
+	DirCount   uint32
+	MaxCount   uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *ReadDirPlusArgs) EncodeXDR(e *xdr.Encoder) {
+	a.Dir.EncodeXDR(e)
+	e.Uint64(a.Cookie)
+	e.FixedOpaque(a.CookieVerf[:])
+	e.Uint32(a.DirCount)
+	e.Uint32(a.MaxCount)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *ReadDirPlusArgs) DecodeXDR(d *xdr.Decoder) {
+	a.Dir.DecodeXDR(d)
+	a.Cookie = d.Uint64()
+	d.FixedOpaque(a.CookieVerf[:])
+	a.DirCount = d.Uint32()
+	a.MaxCount = d.Uint32()
+}
+
+// DirEntryPlus is one READDIRPLUS entry.
+type DirEntryPlus struct {
+	FileID uint64
+	Name   string
+	Cookie uint64
+	Attr   PostOpAttr
+	FH     PostOpFH3
+}
+
+// ReadDirPlusRes is READDIRPLUS3res.
+type ReadDirPlusRes struct {
+	Status     Status
+	DirAttr    PostOpAttr
+	CookieVerf [WriteVerfSize]byte
+	Entries    []DirEntryPlus
+	EOF        bool
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *ReadDirPlusRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.DirAttr.EncodeXDR(e)
+	if r.Status != OK {
+		return
+	}
+	e.FixedOpaque(r.CookieVerf[:])
+	for i := range r.Entries {
+		ent := &r.Entries[i]
+		e.OptionalBegin(true)
+		e.Uint64(ent.FileID)
+		e.String(ent.Name)
+		e.Uint64(ent.Cookie)
+		ent.Attr.EncodeXDR(e)
+		ent.FH.EncodeXDR(e)
+	}
+	e.OptionalBegin(false)
+	e.Bool(r.EOF)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *ReadDirPlusRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.DirAttr.DecodeXDR(d)
+	if r.Status != OK {
+		return
+	}
+	d.FixedOpaque(r.CookieVerf[:])
+	r.Entries = nil
+	for d.OptionalPresent() {
+		var ent DirEntryPlus
+		ent.FileID = d.Uint64()
+		ent.Name = d.String()
+		ent.Cookie = d.Uint64()
+		ent.Attr.DecodeXDR(d)
+		ent.FH.DecodeXDR(d)
+		r.Entries = append(r.Entries, ent)
+		if d.Err() != nil {
+			return
+		}
+	}
+	r.EOF = d.Bool()
+}
+
+// FSStatArgs is FSSTAT3args (also FSINFO and PATHCONF args).
+type FSStatArgs struct{ Obj FH3 }
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *FSStatArgs) EncodeXDR(e *xdr.Encoder) { a.Obj.EncodeXDR(e) }
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *FSStatArgs) DecodeXDR(d *xdr.Decoder) { a.Obj.DecodeXDR(d) }
+
+// FSStatRes is FSSTAT3res.
+type FSStatRes struct {
+	Status   Status
+	Attr     PostOpAttr
+	Tbytes   uint64
+	Fbytes   uint64
+	Abytes   uint64
+	Tfiles   uint64
+	Ffiles   uint64
+	Afiles   uint64
+	Invarsec uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *FSStatRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.EncodeXDR(e)
+	if r.Status == OK {
+		e.Uint64(r.Tbytes)
+		e.Uint64(r.Fbytes)
+		e.Uint64(r.Abytes)
+		e.Uint64(r.Tfiles)
+		e.Uint64(r.Ffiles)
+		e.Uint64(r.Afiles)
+		e.Uint32(r.Invarsec)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *FSStatRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Attr.DecodeXDR(d)
+	if r.Status == OK {
+		r.Tbytes = d.Uint64()
+		r.Fbytes = d.Uint64()
+		r.Abytes = d.Uint64()
+		r.Tfiles = d.Uint64()
+		r.Ffiles = d.Uint64()
+		r.Afiles = d.Uint64()
+		r.Invarsec = d.Uint32()
+	}
+}
+
+// FSInfo properties bits.
+const (
+	FSFLink        = 0x0001
+	FSFSymlink     = 0x0002
+	FSFHomogeneous = 0x0008
+	FSFCanSetTime  = 0x0010
+)
+
+// FSInfoRes is FSINFO3res.
+type FSInfoRes struct {
+	Status      Status
+	Attr        PostOpAttr
+	RtMax       uint32
+	RtPref      uint32
+	RtMult      uint32
+	WtMax       uint32
+	WtPref      uint32
+	WtMult      uint32
+	DtPref      uint32
+	MaxFileSize uint64
+	TimeDelta   NFSTime
+	Properties  uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *FSInfoRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.EncodeXDR(e)
+	if r.Status == OK {
+		e.Uint32(r.RtMax)
+		e.Uint32(r.RtPref)
+		e.Uint32(r.RtMult)
+		e.Uint32(r.WtMax)
+		e.Uint32(r.WtPref)
+		e.Uint32(r.WtMult)
+		e.Uint32(r.DtPref)
+		e.Uint64(r.MaxFileSize)
+		r.TimeDelta.enc(e)
+		e.Uint32(r.Properties)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *FSInfoRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Attr.DecodeXDR(d)
+	if r.Status == OK {
+		r.RtMax = d.Uint32()
+		r.RtPref = d.Uint32()
+		r.RtMult = d.Uint32()
+		r.WtMax = d.Uint32()
+		r.WtPref = d.Uint32()
+		r.WtMult = d.Uint32()
+		r.DtPref = d.Uint32()
+		r.MaxFileSize = d.Uint64()
+		r.TimeDelta.dec(d)
+		r.Properties = d.Uint32()
+	}
+}
+
+// PathConfRes is PATHCONF3res.
+type PathConfRes struct {
+	Status          Status
+	Attr            PostOpAttr
+	LinkMax         uint32
+	NameMax         uint32
+	NoTrunc         bool
+	ChownRestricted bool
+	CaseInsensitive bool
+	CasePreserving  bool
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *PathConfRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.EncodeXDR(e)
+	if r.Status == OK {
+		e.Uint32(r.LinkMax)
+		e.Uint32(r.NameMax)
+		e.Bool(r.NoTrunc)
+		e.Bool(r.ChownRestricted)
+		e.Bool(r.CaseInsensitive)
+		e.Bool(r.CasePreserving)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *PathConfRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Attr.DecodeXDR(d)
+	if r.Status == OK {
+		r.LinkMax = d.Uint32()
+		r.NameMax = d.Uint32()
+		r.NoTrunc = d.Bool()
+		r.ChownRestricted = d.Bool()
+		r.CaseInsensitive = d.Bool()
+		r.CasePreserving = d.Bool()
+	}
+}
+
+// CommitArgs is COMMIT3args.
+type CommitArgs struct {
+	Obj    FH3
+	Offset uint64
+	Count  uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *CommitArgs) EncodeXDR(e *xdr.Encoder) {
+	a.Obj.EncodeXDR(e)
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *CommitArgs) DecodeXDR(d *xdr.Decoder) {
+	a.Obj.DecodeXDR(d)
+	a.Offset = d.Uint64()
+	a.Count = d.Uint32()
+}
+
+// CommitRes is COMMIT3res.
+type CommitRes struct {
+	Status Status
+	Wcc    WccData
+	Verf   [WriteVerfSize]byte
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (r *CommitRes) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Wcc.EncodeXDR(e)
+	if r.Status == OK {
+		e.FixedOpaque(r.Verf[:])
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (r *CommitRes) DecodeXDR(d *xdr.Decoder) {
+	r.Status = Status(d.Uint32())
+	r.Wcc.DecodeXDR(d)
+	if r.Status == OK {
+		d.FixedOpaque(r.Verf[:])
+	}
+}

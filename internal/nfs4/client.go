@@ -1,0 +1,481 @@
+package nfs4
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/nfs3"
+	"repro/internal/oncrpc"
+	"repro/internal/vfs"
+)
+
+// Options tunes the v4 client's caching, mirroring the v3 client's
+// defaults so baseline comparisons are apples-to-apples.
+type Options struct {
+	BlockSize   int           // default 32 KiB
+	CacheBytes  int64         // default 32 MiB
+	AttrTimeout time.Duration // default 3 s
+	UID, GID    uint32
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize == 0 {
+		o.BlockSize = 32 * 1024
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 32 << 20
+	}
+	if o.AttrTimeout == 0 {
+		o.AttrTimeout = 3 * time.Second
+	}
+	return o
+}
+
+// Client is a caching NFSv4 client. Unlike v3 it needs no separate
+// MOUNT protocol: PUTROOTFH anchors every path traversal, and a whole
+// path walk ships as a single COMPOUND round trip.
+type Client struct {
+	rpc *oncrpc.Client
+	opt Options
+
+	mu     sync.Mutex
+	attrs  map[string]attrEntry // path -> attrs
+	blocks map[blockKey][]byte
+	lru    *list.List
+	lruIdx map[blockKey]*list.Element
+	used   int64
+}
+
+type attrEntry struct {
+	attr   nfs3.Fattr3
+	expiry time.Time
+}
+
+type blockKey struct {
+	path string
+	idx  uint64
+}
+
+// Dial connects and returns a v4 client.
+func Dial(dial func() (net.Conn, error), opt Options) (*Client, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	c := &Client{
+		rpc:    oncrpc.NewClient(conn, Program, Version),
+		opt:    opt,
+		attrs:  make(map[string]attrEntry),
+		blocks: make(map[blockKey][]byte),
+		lru:    list.New(),
+		lruIdx: make(map[blockKey]*list.Element),
+	}
+	cred, err := (&oncrpc.AuthSys{MachineName: "v4client", UID: opt.UID, GID: opt.GID}).Auth()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.rpc.SetCred(cred)
+	// Probe the server.
+	if _, err := c.compound(context.Background(), Op{Code: OpPutRootFH}, Op{Code: OpGetAttr}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("nfs4: initial compound: %w", err)
+	}
+	return c, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// compound executes ops and returns the results, converting a failed
+// compound into an error carrying the failing status.
+func (c *Client) compound(ctx context.Context, ops ...Op) ([]OpResult, error) {
+	args := &CompoundArgs{Ops: ops}
+	var res CompoundRes
+	if err := c.rpc.Call(ctx, ProcCompound, args, &res); err != nil {
+		return nil, err
+	}
+	if res.Status != nfs3.OK {
+		return res.Results, res.Status.Error()
+	}
+	return res.Results, nil
+}
+
+// pathOps builds the op prefix that walks to path's final component.
+func pathOps(path string) []Op {
+	ops := []Op{{Code: OpPutRootFH}}
+	for _, part := range splitPath(path) {
+		ops = append(ops, Op{Code: OpLookup, Name: part})
+	}
+	return ops
+}
+
+// parentOps walks to path's parent and returns the leaf name.
+func parentOps(path string) ([]Op, string, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, "", vfs.ErrInval
+	}
+	ops := []Op{{Code: OpPutRootFH}}
+	for _, part := range parts[:len(parts)-1] {
+		ops = append(ops, Op{Code: OpLookup, Name: part})
+	}
+	return ops, parts[len(parts)-1], nil
+}
+
+func splitPath(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" && p != "." {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// Stat returns attributes for path, cached per AttrTimeout.
+func (c *Client) Stat(ctx context.Context, path string) (nfs3.Fattr3, error) {
+	c.mu.Lock()
+	if e, ok := c.attrs[path]; ok && time.Now().Before(e.expiry) {
+		c.mu.Unlock()
+		return e.attr, nil
+	}
+	c.mu.Unlock()
+	ops := append(pathOps(path), Op{Code: OpGetAttr})
+	results, err := c.compound(ctx, ops...)
+	if err != nil {
+		return nfs3.Fattr3{}, err
+	}
+	attr := results[len(results)-1].Attr
+	c.putAttr(path, attr)
+	return attr, nil
+}
+
+func (c *Client) putAttr(path string, attr nfs3.Fattr3) {
+	c.mu.Lock()
+	c.attrs[path] = attrEntry{attr: attr, expiry: time.Now().Add(c.opt.AttrTimeout)}
+	c.mu.Unlock()
+}
+
+func (c *Client) dropAttr(path string) {
+	c.mu.Lock()
+	delete(c.attrs, path)
+	c.mu.Unlock()
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(ctx context.Context, path string, mode uint32) error {
+	ops, name, err := parentOps(path)
+	if err != nil {
+		return err
+	}
+	ops = append(ops, Op{Code: OpCreate, Name: name, Dir: true, Attr: nfs3.Sattr3{SetMode: true, Mode: mode}})
+	_, err = c.compound(ctx, ops...)
+	return err
+}
+
+// Remove unlinks a file or empty directory.
+func (c *Client) Remove(ctx context.Context, path string) error {
+	ops, name, err := parentOps(path)
+	if err != nil {
+		return err
+	}
+	ops = append(ops, Op{Code: OpRemove, Name: name})
+	c.dropAttr(path)
+	c.dropBlocks(path)
+	_, err = c.compound(ctx, ops...)
+	return err
+}
+
+// Rename moves oldPath to newPath.
+func (c *Client) Rename(ctx context.Context, oldPath, newPath string) error {
+	srcOps, oldName, err := parentOps(oldPath)
+	if err != nil {
+		return err
+	}
+	dstOps, newName, err := parentOps(newPath)
+	if err != nil {
+		return err
+	}
+	ops := append(srcOps, Op{Code: OpSaveFH})
+	ops = append(ops, dstOps...)
+	ops = append(ops, Op{Code: OpRename, Name: oldName, Name2: newName})
+	c.dropAttr(oldPath)
+	c.dropAttr(newPath)
+	c.dropBlocks(oldPath)
+	_, err = c.compound(ctx, ops...)
+	return err
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(ctx context.Context, path string) ([]nfs3.DirEntryPlus, error) {
+	var out []nfs3.DirEntryPlus
+	var cookie uint64
+	for {
+		ops := append(pathOps(path), Op{Code: OpReadDir, Cookie: cookie, Count: 256})
+		results, err := c.compound(ctx, ops...)
+		if err != nil {
+			return nil, err
+		}
+		last := results[len(results)-1]
+		out = append(out, last.Entries...)
+		for _, e := range last.Entries {
+			cookie = e.Cookie
+		}
+		if last.EOF || len(last.Entries) == 0 {
+			return out, nil
+		}
+	}
+}
+
+// File is an open v4 file.
+type File struct {
+	c    *Client
+	path string
+	fh   nfs3.FH3
+
+	mu    sync.Mutex
+	size  int64
+	dirty map[uint64][]byte // write-behind blocks
+	dbyte int64
+}
+
+// OpenFile opens (optionally creating/truncating) path. A single
+// COMPOUND performs the walk, open, and attribute fetch — v4's
+// latency advantage over v3's per-component LOOKUPs.
+func (c *Client) OpenFile(ctx context.Context, path string, create, trunc, excl bool) (*File, error) {
+	ops, name, err := parentOps(path)
+	if err != nil {
+		return nil, err
+	}
+	open := Op{Code: OpOpen, Name: name, Create: create, Excl: excl}
+	if trunc {
+		open.Attr = nfs3.Sattr3{SetSize: true, Size: 0}
+	}
+	if create {
+		open.Attr.SetMode = true
+		open.Attr.Mode = 0644
+	}
+	ops = append(ops, open, Op{Code: OpGetFH})
+	results, err := c.compound(ctx, ops...)
+	if err != nil {
+		return nil, err
+	}
+	openRes := results[len(results)-2]
+	fhRes := results[len(results)-1]
+	c.putAttr(path, openRes.Attr)
+	if trunc {
+		c.dropBlocks(path)
+	}
+	return &File{
+		c: c, path: path, fh: fhRes.FH,
+		size:  int64(openRes.Attr.Size),
+		dirty: make(map[uint64][]byte),
+	}, nil
+}
+
+// Size returns the locally known size.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+func (c *Client) getBlock(k blockKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.blocks[k]
+	if ok {
+		c.lru.MoveToFront(c.lruIdx[k])
+	}
+	return b, ok
+}
+
+func (c *Client) putBlock(k blockKey, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.blocks[k]; ok {
+		c.used -= int64(len(old))
+		c.lru.MoveToFront(c.lruIdx[k])
+	} else {
+		c.lruIdx[k] = c.lru.PushFront(k)
+	}
+	c.blocks[k] = data
+	c.used += int64(len(data))
+	for c.used > c.opt.CacheBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(blockKey)
+		c.used -= int64(len(c.blocks[victim]))
+		delete(c.blocks, victim)
+		delete(c.lruIdx, victim)
+		c.lru.Remove(back)
+	}
+}
+
+func (c *Client) dropBlocks(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.blocks {
+		if k.path == path {
+			c.used -= int64(len(c.blocks[k]))
+			delete(c.blocks, k)
+			if e := c.lruIdx[k]; e != nil {
+				c.lru.Remove(e)
+			}
+			delete(c.lruIdx, k)
+		}
+	}
+}
+
+// ReadAt reads from the file through the block cache.
+func (f *File) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	bs := int64(f.c.opt.BlockSize)
+	size := f.Size()
+	if off >= size {
+		return 0, io.EOF
+	}
+	if off+int64(len(p)) > size {
+		p = p[:size-off]
+	}
+	read := 0
+	for read < len(p) {
+		pos := off + int64(read)
+		idx := uint64(pos / bs)
+		inner := pos % bs
+
+		// Dirty write-behind data wins.
+		f.mu.Lock()
+		block, ok := f.dirty[idx]
+		f.mu.Unlock()
+		if !ok {
+			block, ok = f.c.getBlock(blockKey{f.path, idx})
+		}
+		if !ok {
+			results, err := f.c.compound(ctx,
+				Op{Code: OpPutFH, FH: f.fh},
+				Op{Code: OpRead, Offset: idx * uint64(bs), Count: uint32(bs)})
+			if err != nil {
+				return read, err
+			}
+			block = results[1].Data
+			f.c.putBlock(blockKey{f.path, idx}, block)
+		}
+		n := 0
+		if inner < int64(len(block)) {
+			n = copy(p[read:], block[inner:])
+		}
+		zeroEnd := int64(idx+1) * bs
+		for read+n < len(p) && pos+int64(n) < zeroEnd {
+			p[read+n] = 0
+			n++
+		}
+		read += n
+	}
+	var eof error
+	if off+int64(read) >= size {
+		eof = io.EOF
+	}
+	return read, eof
+}
+
+// WriteAt buffers the write (write-behind) and flushes at Close or
+// under memory pressure.
+func (f *File) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	bs := int64(f.c.opt.BlockSize)
+	written := 0
+	for written < len(p) {
+		pos := off + int64(written)
+		idx := uint64(pos / bs)
+		inner := pos % bs
+		n := int(bs - inner)
+		if n > len(p)-written {
+			n = len(p) - written
+		}
+		f.mu.Lock()
+		block := f.dirty[idx]
+		f.mu.Unlock()
+		if block == nil {
+			if cached, ok := f.c.getBlock(blockKey{f.path, idx}); ok {
+				block = append([]byte(nil), cached...)
+			} else if inner != 0 || n != int(bs) {
+				if int64(idx)*bs < f.Size() {
+					results, err := f.c.compound(ctx,
+						Op{Code: OpPutFH, FH: f.fh},
+						Op{Code: OpRead, Offset: idx * uint64(bs), Count: uint32(bs)})
+					if err != nil {
+						return written, err
+					}
+					block = append([]byte(nil), results[1].Data...)
+				}
+			}
+		}
+		need := inner + int64(n)
+		if int64(len(block)) < need {
+			grown := make([]byte, need)
+			copy(grown, block)
+			block = grown
+		}
+		copy(block[inner:], p[written:written+n])
+		f.mu.Lock()
+		if f.dirty[idx] == nil {
+			f.dbyte += int64(len(block))
+		}
+		f.dirty[idx] = block
+		needFlush := f.dbyte > 8<<20
+		if end := pos + int64(n); end > f.size {
+			f.size = end
+		}
+		f.mu.Unlock()
+		written += n
+		if needFlush {
+			if err := f.Sync(ctx); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// Sync flushes dirty blocks with UNSTABLE writes then commits.
+func (f *File) Sync(ctx context.Context) error {
+	f.mu.Lock()
+	dirty := f.dirty
+	f.dirty = make(map[uint64][]byte)
+	f.dbyte = 0
+	f.mu.Unlock()
+	if len(dirty) == 0 {
+		return nil
+	}
+	bs := uint64(f.c.opt.BlockSize)
+	for idx, block := range dirty {
+		_, err := f.c.compound(ctx,
+			Op{Code: OpPutFH, FH: f.fh},
+			Op{Code: OpWrite, Offset: idx * bs, Stable: nfs3.Unstable, Data: block})
+		if err != nil {
+			return err
+		}
+		f.c.putBlock(blockKey{f.path, idx}, block)
+	}
+	_, err := f.c.compound(ctx, Op{Code: OpPutFH, FH: f.fh}, Op{Code: OpCommit})
+	return err
+}
+
+// Close flushes and releases the file (CLOSE is stateless here).
+func (f *File) Close(ctx context.Context) error {
+	if err := f.Sync(ctx); err != nil {
+		return err
+	}
+	_, err := f.c.compound(ctx, Op{Code: OpPutFH, FH: f.fh}, Op{Code: OpClose})
+	f.c.dropAttr(f.path)
+	return err
+}

@@ -1,0 +1,219 @@
+package nfs4
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oncrpc"
+	"repro/internal/vfs"
+)
+
+func startV4(t *testing.T) (*Client, *vfs.MemFS) {
+	t.Helper()
+	backend := vfs.NewMemFS()
+	rpc := oncrpc.NewServer()
+	NewServer(backend, 4).Register(rpc)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rpc.Serve(l)
+	t.Cleanup(rpc.Close)
+	c, err := Dial(func() (net.Conn, error) { return net.Dial("tcp", l.Addr().String()) }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, backend
+}
+
+func TestCompoundWalkInOneRoundTrip(t *testing.T) {
+	c, backend := startV4(t)
+	// Build /a/b/c/leaf directly on the backend.
+	cur := backend.Root()
+	for _, name := range []string{"a", "b", "c"} {
+		h, _, err := backend.Mkdir(cur, name, vfs.SetAttr{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = h
+	}
+	h, _, _ := backend.Create(cur, "leaf", vfs.SetAttr{}, false)
+	backend.Write(h, 0, []byte("deep"))
+
+	attr, err := c.Stat(context.Background(), "a/b/c/leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Size != 4 {
+		t.Fatalf("size %d", attr.Size)
+	}
+}
+
+func TestOpenCreateWriteRead(t *testing.T) {
+	c, _ := startV4(t)
+	ctx := context.Background()
+	f, err := c.OpenFile(ctx, "data.bin", true, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("4"), 100000)
+	if _, err := f.WriteAt(ctx, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.OpenFile(ctx, "data.bin", false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := g.ReadAt(ctx, got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestExclusiveOpen(t *testing.T) {
+	c, _ := startV4(t)
+	ctx := context.Background()
+	if _, err := c.OpenFile(ctx, "x", true, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenFile(ctx, "x", true, false, true); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMkdirRemoveRename(t *testing.T) {
+	c, _ := startV4(t)
+	ctx := context.Background()
+	if err := c.Mkdir(ctx, "dir", 0755); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := c.OpenFile(ctx, "dir/f", true, false, false)
+	f.WriteAt(ctx, []byte("v"), 0)
+	f.Close(ctx)
+	if err := c.Rename(ctx, "dir/f", "dir/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat(ctx, "dir/f"); !errors.Is(err, vfs.ErrNoEnt) {
+		t.Fatalf("old name: %v", err)
+	}
+	if _, err := c.Stat(ctx, "dir/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(ctx, "dir/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(ctx, "dir"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	c, _ := startV4(t)
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		f, err := c.OpenFile(ctx, "f"+string(rune('a'+i)), true, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close(ctx)
+	}
+	entries, err := c.ReadDir(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 30 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+}
+
+func TestCompoundStopsAtFailure(t *testing.T) {
+	c, _ := startV4(t)
+	results, err := c.compound(context.Background(),
+		Op{Code: OpPutRootFH},
+		Op{Code: OpLookup, Name: "missing"},
+		Op{Code: OpGetAttr})
+	if err == nil {
+		t.Fatal("compound with failing lookup succeeded")
+	}
+	if len(results) != 2 {
+		t.Fatalf("executed %d ops, want stop after 2", len(results))
+	}
+	if results[1].Status != Status(vfs.ErrNoEnt) {
+		t.Fatalf("lookup status %v", results[1].Status)
+	}
+}
+
+func TestStatCaching(t *testing.T) {
+	c, _ := startV4(t)
+	ctx := context.Background()
+	f, _ := c.OpenFile(ctx, "s", true, false, false)
+	f.WriteAt(ctx, []byte("xyz"), 0)
+	f.Close(ctx)
+	a1, err := c.Stat(ctx, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := c.Stat(ctx, "s") // served from cache
+	if a1 != a2 {
+		t.Fatal("cached stat differs")
+	}
+}
+
+func TestQuickV4WriteModel(t *testing.T) {
+	c, _ := startV4(t)
+	ctx := context.Background()
+	count := 0
+	f := func(seed int64) bool {
+		count++
+		rng := rand.New(rand.NewSource(seed))
+		name := string(rune('A'+count%26)) + "model"
+		file, err := c.OpenFile(ctx, name, true, true, false)
+		if err != nil {
+			return false
+		}
+		var model []byte
+		for i := 0; i < 10; i++ {
+			off := rng.Intn(100000)
+			n := rng.Intn(40000) + 1
+			data := make([]byte, n)
+			rng.Read(data)
+			if _, err := file.WriteAt(ctx, data, int64(off)); err != nil {
+				return false
+			}
+			if off+n > len(model) {
+				grown := make([]byte, off+n)
+				copy(grown, model)
+				model = grown
+			}
+			copy(model[off:], data)
+		}
+		if err := file.Close(ctx); err != nil {
+			return false
+		}
+		g, err := c.OpenFile(ctx, name, false, false, false)
+		if err != nil {
+			return false
+		}
+		got := make([]byte, len(model))
+		if _, err := g.ReadAt(ctx, got, 0); err != nil && err != io.EOF {
+			return false
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

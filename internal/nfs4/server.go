@@ -1,0 +1,290 @@
+package nfs4
+
+import (
+	"context"
+
+	"repro/internal/nfs3"
+	"repro/internal/oncrpc"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// Server evaluates COMPOUND procedures against a vfs.FS backend.
+type Server struct {
+	fs   vfs.FS
+	fsid uint64
+}
+
+// NewServer creates a v4 server exporting fs.
+func NewServer(fs vfs.FS, fsid uint64) *Server { return &Server{fs: fs, fsid: fsid} }
+
+// Register installs the NFSv4 program on an RPC server.
+func (s *Server) Register(r *oncrpc.Server) {
+	r.Register(Program, Version, map[uint32]oncrpc.Handler{
+		ProcCompound: s.compound,
+	})
+}
+
+func (s *Server) compound(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var args CompoundArgs
+	if call.DecodeArgs(&args) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	creds := vfs.Creds{UID: ^uint32(0)}
+	if call.Cred.Sys != nil {
+		creds = vfs.Creds{UID: call.Cred.Sys.UID, GID: call.Cred.Sys.GID, GIDs: call.Cred.Sys.GIDs}
+	}
+
+	res := &CompoundRes{Tag: args.Tag}
+	var cur, saved vfs.Handle
+	haveCur := false
+	for i := range args.Ops {
+		op := &args.Ops[i]
+		r := s.eval(op, &cur, &saved, &haveCur, creds)
+		res.Results = append(res.Results, r)
+		if r.Status != nfs3.OK {
+			res.Status = r.Status
+			break
+		}
+	}
+	return res, oncrpc.Success
+}
+
+func (s *Server) attr(h vfs.Handle) (nfs3.Fattr3, Status) {
+	a, err := s.fs.GetAttr(h)
+	if err != nil {
+		return nfs3.Fattr3{}, nfs3.StatusFromError(err)
+	}
+	return nfs3.FromAttr(a, s.fsid), nfs3.OK
+}
+
+// eval executes one operation against the compound's filehandle state.
+func (s *Server) eval(op *Op, cur, saved *vfs.Handle, haveCur *bool, creds vfs.Creds) OpResult {
+	r := OpResult{Code: op.Code}
+	needCur := func() bool {
+		if !*haveCur {
+			r.Status = Status(vfs.ErrBadHandle)
+			return false
+		}
+		return true
+	}
+	switch op.Code {
+	case OpPutRootFH:
+		*cur = s.fs.Root()
+		*haveCur = true
+	case OpPutFH:
+		*cur = op.FH.Handle()
+		*haveCur = true
+	case OpGetFH:
+		if !needCur() {
+			return r
+		}
+		r.FH = nfs3.FromHandle(*cur)
+	case OpSaveFH:
+		if !needCur() {
+			return r
+		}
+		*saved = *cur
+	case OpRestoreFH:
+		*cur = *saved
+	case OpLookup:
+		if !needCur() {
+			return r
+		}
+		h, attr, err := s.fs.Lookup(*cur, op.Name)
+		if err != nil {
+			r.Status = nfs3.StatusFromError(err)
+			return r
+		}
+		*cur = h
+		r.Attr = nfs3.FromAttr(attr, s.fsid)
+		r.HasAttr = true
+	case OpGetAttr:
+		if !needCur() {
+			return r
+		}
+		r.Attr, r.Status = s.attr(*cur)
+		r.HasAttr = r.Status == nfs3.OK
+	case OpSetAttr:
+		if !needCur() {
+			return r
+		}
+		attr, err := s.fs.SetAttr(*cur, op.Attr.SetAttr())
+		if err != nil {
+			r.Status = nfs3.StatusFromError(err)
+			return r
+		}
+		r.Attr = nfs3.FromAttr(attr, s.fsid)
+		r.HasAttr = true
+	case OpAccess:
+		if !needCur() {
+			return r
+		}
+		a, err := s.fs.GetAttr(*cur)
+		if err != nil {
+			r.Status = nfs3.StatusFromError(err)
+			return r
+		}
+		r.Access = vfs.CheckAccess(a, creds, op.Access)
+	case OpOpen:
+		if !needCur() {
+			return r
+		}
+		h, attr, err := s.fs.Lookup(*cur, op.Name)
+		switch {
+		case err == nil:
+			if op.Excl {
+				r.Status = Status(vfs.ErrExist)
+				return r
+			}
+			if op.Attr.SetSize && op.Attr.Size == 0 {
+				if _, err := s.fs.SetAttr(h, op.Attr.SetAttr()); err != nil {
+					r.Status = nfs3.StatusFromError(err)
+					return r
+				}
+				attr.Size = 0
+			}
+		case err == vfs.ErrNoEnt && op.Create:
+			sa := op.Attr.SetAttr()
+			if sa.UID == nil {
+				sa.UID = &creds.UID
+			}
+			if sa.GID == nil {
+				sa.GID = &creds.GID
+			}
+			h, attr, err = s.fs.Create(*cur, op.Name, sa, op.Excl)
+			if err != nil {
+				r.Status = nfs3.StatusFromError(err)
+				return r
+			}
+		default:
+			r.Status = nfs3.StatusFromError(err)
+			return r
+		}
+		*cur = h
+		r.Attr = nfs3.FromAttr(attr, s.fsid)
+		r.HasAttr = true
+	case OpCreate:
+		if !needCur() {
+			return r
+		}
+		sa := op.Attr.SetAttr()
+		if sa.UID == nil {
+			sa.UID = &creds.UID
+		}
+		if sa.GID == nil {
+			sa.GID = &creds.GID
+		}
+		var h vfs.Handle
+		var attr vfs.Attr
+		var err error
+		if op.Dir {
+			h, attr, err = s.fs.Mkdir(*cur, op.Name, sa)
+		} else {
+			h, attr, err = s.fs.Symlink(*cur, op.Name, op.Target, sa)
+		}
+		if err != nil {
+			r.Status = nfs3.StatusFromError(err)
+			return r
+		}
+		*cur = h
+		r.Attr = nfs3.FromAttr(attr, s.fsid)
+		r.HasAttr = true
+	case OpClose:
+		// Stateless simplification: nothing to release.
+	case OpRead:
+		if !needCur() {
+			return r
+		}
+		count := op.Count
+		if count > nfs3.PreferredIO {
+			count = nfs3.PreferredIO
+		}
+		buf := make([]byte, count)
+		n, eof, err := s.fs.Read(*cur, op.Offset, buf)
+		if err != nil {
+			r.Status = nfs3.StatusFromError(err)
+			return r
+		}
+		r.Data = buf[:n]
+		r.EOF = eof
+	case OpWrite:
+		if !needCur() {
+			return r
+		}
+		if err := s.fs.Write(*cur, op.Offset, op.Data); err != nil {
+			r.Status = nfs3.StatusFromError(err)
+			return r
+		}
+		r.Count = uint32(len(op.Data))
+	case OpCommit:
+		if !needCur() {
+			return r
+		}
+		if err := s.fs.Commit(*cur); err != nil {
+			r.Status = nfs3.StatusFromError(err)
+		}
+	case OpRemove:
+		if !needCur() {
+			return r
+		}
+		err := s.fs.Remove(*cur, op.Name)
+		if err == vfs.ErrIsDir {
+			err = s.fs.Rmdir(*cur, op.Name)
+		}
+		if err != nil {
+			r.Status = nfs3.StatusFromError(err)
+		}
+	case OpRename:
+		// RENAME: saved FH is the source directory, current FH the
+		// destination directory (RFC 3530 §14.2.26).
+		if !needCur() {
+			return r
+		}
+		if err := s.fs.Rename(*saved, op.Name, *cur, op.Name2); err != nil {
+			r.Status = nfs3.StatusFromError(err)
+		}
+	case OpLink:
+		if !needCur() {
+			return r
+		}
+		if err := s.fs.Link(*saved, *cur, op.Name); err != nil {
+			r.Status = nfs3.StatusFromError(err)
+		}
+	case OpReadLink:
+		if !needCur() {
+			return r
+		}
+		target, err := s.fs.ReadLink(*cur)
+		if err != nil {
+			r.Status = nfs3.StatusFromError(err)
+			return r
+		}
+		r.Target = target
+	case OpReadDir:
+		if !needCur() {
+			return r
+		}
+		max := int(op.Count)
+		if max <= 0 || max > 1024 {
+			max = 256
+		}
+		entries, eof, err := s.fs.ReadDir(*cur, op.Cookie, max)
+		if err != nil {
+			r.Status = nfs3.StatusFromError(err)
+			return r
+		}
+		r.EOF = eof
+		for _, ent := range entries {
+			dep := nfs3.DirEntryPlus{FileID: ent.FileID, Name: ent.Name, Cookie: ent.Cookie}
+			if ent.Attr != nil {
+				dep.Attr = nfs3.PostOpAttr{Present: true, Attr: nfs3.FromAttr(*ent.Attr, s.fsid)}
+				dep.FH = nfs3.PostOpFH3{Present: true, FH: nfs3.FromHandle(ent.Handle)}
+			}
+			r.Entries = append(r.Entries, dep)
+		}
+	default:
+		r.Status = Status(vfs.ErrNotSupp)
+	}
+	return r
+}

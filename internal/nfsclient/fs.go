@@ -1,0 +1,791 @@
+package nfsclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/nfs3"
+	"repro/internal/vfs"
+)
+
+// Options tunes the mounted file system. Zero values select the
+// defaults noted on each field.
+type Options struct {
+	// BlockSize is the read/write transfer size (default 32 KiB, the
+	// paper's experimental setting).
+	BlockSize int
+	// CacheBytes bounds the memory page cache (default 32 MiB —
+	// scaled from the paper's 256 MB client against a 512 MB file).
+	CacheBytes int64
+	// AttrTimeout is the attribute/name cache freshness window
+	// (default 3 s, matching typical acregmin).
+	AttrTimeout time.Duration
+	// Readahead is the number of blocks prefetched on sequential
+	// reads (default 2; 0 disables).
+	Readahead int
+	// WriteBehind delays writes in the page cache until Close/Sync or
+	// pressure (default true, matching "write delay" in the paper's
+	// export options). When false every write goes to the server
+	// synchronously (FILE_SYNC).
+	WriteBehind bool
+	// NoWriteBehind forces write-through; it exists so the zero value
+	// of Options selects write-behind.
+	NoWriteBehind bool
+	// UID, GID and MachineName form the AUTH_SYS credential.
+	UID, GID    uint32
+	MachineName string
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize == 0 {
+		o.BlockSize = 32 * 1024
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 32 << 20
+	}
+	if o.AttrTimeout == 0 {
+		o.AttrTimeout = 3 * time.Second
+	}
+	if o.Readahead == 0 {
+		o.Readahead = 2
+	}
+	if o.MachineName == "" {
+		o.MachineName = "client"
+	}
+	o.WriteBehind = !o.NoWriteBehind
+	return o
+}
+
+// FileSystem is a mounted NFS file system with kernel-client-like
+// caching. All methods are safe for concurrent use.
+type FileSystem struct {
+	proto *Proto
+	root  nfs3.FH3
+	opt   Options
+
+	attrs *attrCache
+	names *nameCache
+	pages *pageCache
+
+	// openVersions records the (mtime, size) under which a file's
+	// cached pages were populated, for close-to-open revalidation.
+	verMu    sync.Mutex
+	versions map[string]fileVersion
+
+	// seqMu guards per-file sequential-read state for readahead.
+	seqMu   sync.Mutex
+	lastEnd map[string]uint64
+
+	rpcReads, rpcWrites uint64
+	statMu              sync.Mutex
+}
+
+type fileVersion struct {
+	mtime nfs3.NFSTime
+	size  uint64
+}
+
+// Mount attaches to the export at path via dial and returns a caching
+// file system. A second connection is used briefly for the MOUNT
+// protocol.
+func Mount(ctx context.Context, dial Dialer, path string, opt Options) (*FileSystem, error) {
+	opt = opt.withDefaults()
+	root, err := MountExport(ctx, dial, path)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("nfsclient: dial nfs: %w", err)
+	}
+	proto := NewProto(conn)
+	if err := proto.SetCred(opt.UID, opt.GID, opt.MachineName); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	fs := &FileSystem{
+		proto:    proto,
+		root:     root,
+		opt:      opt,
+		attrs:    newAttrCache(opt.AttrTimeout),
+		names:    newNameCache(opt.AttrTimeout),
+		pages:    newPageCache(opt.CacheBytes),
+		versions: make(map[string]fileVersion),
+		lastEnd:  make(map[string]uint64),
+	}
+	// Prime the root attributes and verify the server speaks NFSv3.
+	if _, err := fs.getAttr(ctx, root); err != nil {
+		proto.Close()
+		return nil, fmt.Errorf("nfsclient: root getattr: %w", err)
+	}
+	return fs, nil
+}
+
+// Close flushes all dirty data and tears down the connection.
+func (fs *FileSystem) Close() error {
+	// Flush everything still dirty.
+	fs.pages.mu.Lock()
+	var fhs []string
+	seen := map[string]bool{}
+	for k, b := range fs.pages.blocks {
+		if b.dirty && !seen[k.fh] {
+			seen[k.fh] = true
+			fhs = append(fhs, k.fh)
+		}
+	}
+	fs.pages.mu.Unlock()
+	ctx := context.Background()
+	for _, key := range fhs {
+		fh := nfs3.FH3{Data: []byte(key)}
+		fs.flushFile(ctx, fh)
+	}
+	return fs.proto.Close()
+}
+
+// Root returns the root file handle.
+func (fs *FileSystem) Root() nfs3.FH3 { return fs.root }
+
+// Proto exposes the underlying protocol client (for tests and tools).
+func (fs *FileSystem) Proto() *Proto { return fs.proto }
+
+// RPCCounts reports the number of read and write RPCs issued.
+func (fs *FileSystem) RPCCounts() (reads, writes uint64) {
+	fs.statMu.Lock()
+	defer fs.statMu.Unlock()
+	return fs.rpcReads, fs.rpcWrites
+}
+
+// CacheStats reports page-cache hit/miss counters.
+func (fs *FileSystem) CacheStats() (hits, misses uint64) {
+	h, m, _ := fs.pages.Stats()
+	return h, m
+}
+
+// getAttr returns attributes, consulting the cache first.
+func (fs *FileSystem) getAttr(ctx context.Context, fh nfs3.FH3) (nfs3.Fattr3, error) {
+	if a, ok := fs.attrs.Get(fh); ok {
+		return a, nil
+	}
+	a, err := fs.proto.GetAttr(ctx, fh)
+	if err != nil {
+		return a, err
+	}
+	fs.attrs.Put(fh, a)
+	return a, nil
+}
+
+// splitPath normalizes and splits a slash path.
+func splitPath(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" && p != "." {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// walk resolves path to a handle using the name cache.
+func (fs *FileSystem) walk(ctx context.Context, path string) (nfs3.FH3, error) {
+	cur := fs.root
+	for _, name := range splitPath(path) {
+		if fh, ok := fs.names.Get(cur, name); ok {
+			cur = fh
+			continue
+		}
+		fh, attr, err := fs.proto.Lookup(ctx, cur, name)
+		if err != nil {
+			return nfs3.FH3{}, err
+		}
+		fs.names.Put(cur, name, fh)
+		fs.attrs.Put(fh, attr)
+		cur = fh
+	}
+	return cur, nil
+}
+
+// walkParent resolves the parent directory of path and returns it with
+// the final name component.
+func (fs *FileSystem) walkParent(ctx context.Context, path string) (nfs3.FH3, string, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nfs3.FH3{}, "", vfs.ErrInval
+	}
+	dirParts := parts[:len(parts)-1]
+	dir := fs.root
+	var err error
+	if len(dirParts) > 0 {
+		dir, err = fs.walk(ctx, strings.Join(dirParts, "/"))
+		if err != nil {
+			return nfs3.FH3{}, "", err
+		}
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// Stat returns attributes for path.
+func (fs *FileSystem) Stat(ctx context.Context, path string) (nfs3.Fattr3, error) {
+	fh, err := fs.walk(ctx, path)
+	if err != nil {
+		return nfs3.Fattr3{}, err
+	}
+	return fs.getAttr(ctx, fh)
+}
+
+// Access returns the granted subset of mask for path.
+func (fs *FileSystem) Access(ctx context.Context, path string, mask uint32) (uint32, error) {
+	fh, err := fs.walk(ctx, path)
+	if err != nil {
+		return 0, err
+	}
+	return fs.proto.Access(ctx, fh, mask)
+}
+
+// Mkdir creates a directory.
+func (fs *FileSystem) Mkdir(ctx context.Context, path string, mode uint32) error {
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fh, attr, err := fs.proto.Mkdir(ctx, dir, name, mode)
+	if err != nil {
+		return err
+	}
+	fs.names.Put(dir, name, fh)
+	fs.attrs.Put(fh, attr)
+	fs.attrs.Invalidate(dir)
+	return nil
+}
+
+// MkdirAll creates path and any missing parents.
+func (fs *FileSystem) MkdirAll(ctx context.Context, path string, mode uint32) error {
+	parts := splitPath(path)
+	for i := range parts {
+		p := strings.Join(parts[:i+1], "/")
+		err := fs.Mkdir(ctx, p, mode)
+		if err != nil && !errors.Is(err, vfs.ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove unlinks the file at path, discarding any cached dirty blocks
+// (they can never be observed again).
+func (fs *FileSystem) Remove(ctx context.Context, path string) error {
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	if fh, ok := fs.names.Get(dir, name); ok {
+		fs.pages.DropFile(fh)
+		fs.attrs.Invalidate(fh)
+	}
+	fs.names.Invalidate(dir, name)
+	fs.attrs.Invalidate(dir)
+	return fs.proto.Remove(ctx, dir, name)
+}
+
+// Rmdir removes an empty directory.
+func (fs *FileSystem) Rmdir(ctx context.Context, path string) error {
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.names.Invalidate(dir, name)
+	fs.attrs.Invalidate(dir)
+	return fs.proto.Rmdir(ctx, dir, name)
+}
+
+// Rename moves oldPath to newPath.
+func (fs *FileSystem) Rename(ctx context.Context, oldPath, newPath string) error {
+	fromDir, fromName, err := fs.walkParent(ctx, oldPath)
+	if err != nil {
+		return err
+	}
+	toDir, toName, err := fs.walkParent(ctx, newPath)
+	if err != nil {
+		return err
+	}
+	fs.names.Invalidate(fromDir, fromName)
+	fs.names.Invalidate(toDir, toName)
+	fs.attrs.Invalidate(fromDir)
+	fs.attrs.Invalidate(toDir)
+	return fs.proto.Rename(ctx, fromDir, fromName, toDir, toName)
+}
+
+// Symlink creates a symbolic link at path pointing to target.
+func (fs *FileSystem) Symlink(ctx context.Context, target, path string) error {
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	_, err = fs.proto.Symlink(ctx, dir, name, target)
+	fs.attrs.Invalidate(dir)
+	return err
+}
+
+// ReadLink reads the target of the symlink at path.
+func (fs *FileSystem) ReadLink(ctx context.Context, path string) (string, error) {
+	fh, err := fs.walk(ctx, path)
+	if err != nil {
+		return "", err
+	}
+	return fs.proto.ReadLink(ctx, fh)
+}
+
+// Chmod changes permissions.
+func (fs *FileSystem) Chmod(ctx context.Context, path string, mode uint32) error {
+	fh, err := fs.walk(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.attrs.Invalidate(fh)
+	return fs.proto.SetAttr(ctx, fh, nfs3.Sattr3{SetMode: true, Mode: mode})
+}
+
+// Truncate sets the file size.
+func (fs *FileSystem) Truncate(ctx context.Context, path string, size uint64) error {
+	fh, err := fs.walk(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.pages.DropFile(fh)
+	fs.attrs.Invalidate(fh)
+	return fs.proto.SetAttr(ctx, fh, nfs3.Sattr3{SetSize: true, Size: size})
+}
+
+// ReadDir lists the directory at path.
+func (fs *FileSystem) ReadDir(ctx context.Context, path string) ([]nfs3.DirEntryPlus, error) {
+	fh, err := fs.walk(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	var out []nfs3.DirEntryPlus
+	var cookie uint64
+	for {
+		entries, eof, err := fs.proto.ReadDirPlus(ctx, fh, cookie)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			cookie = e.Cookie
+			if e.Name == "." || e.Name == ".." {
+				continue
+			}
+			if e.FH.Present {
+				fs.names.Put(fh, e.Name, e.FH.FH)
+				if e.Attr.Present {
+					fs.attrs.Put(e.FH.FH, e.Attr.Attr)
+				}
+			}
+			out = append(out, e)
+		}
+		if eof {
+			return out, nil
+		}
+	}
+}
+
+// File flags for OpenFile.
+const (
+	ORdOnly = 0
+	OWrite  = 1 << iota
+	OCreate
+	OTrunc
+	OExcl
+)
+
+// File is an open file with cached I/O.
+type File struct {
+	fs   *FileSystem
+	fh   nfs3.FH3
+	path string
+
+	mu     sync.Mutex
+	offset int64
+	size   int64
+	closed bool
+}
+
+// Open opens an existing file read/write.
+func (fs *FileSystem) Open(ctx context.Context, path string) (*File, error) {
+	return fs.OpenFile(ctx, path, ORdOnly, 0)
+}
+
+// Create creates (or truncates) a file for writing.
+func (fs *FileSystem) Create(ctx context.Context, path string, mode uint32) (*File, error) {
+	return fs.OpenFile(ctx, path, OWrite|OCreate|OTrunc, mode)
+}
+
+// OpenFile opens path with the given flags. Open performs
+// close-to-open consistency: the file's attributes are revalidated
+// against the server and cached pages are discarded if the file
+// changed since they were populated.
+func (fs *FileSystem) OpenFile(ctx context.Context, path string, flags int, mode uint32) (*File, error) {
+	dir, name, err := fs.walkParent(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	var fh nfs3.FH3
+	var attr nfs3.Fattr3
+	fh, attr, err = fs.proto.Lookup(ctx, dir, name)
+	switch {
+	case err == nil:
+		if flags&OExcl != 0 {
+			return nil, vfs.ErrExist
+		}
+		if flags&OTrunc != 0 {
+			fs.pages.DropFile(fh)
+			if err := fs.proto.SetAttr(ctx, fh, nfs3.Sattr3{SetSize: true}); err != nil {
+				return nil, err
+			}
+			attr.Size = 0
+		}
+	case errors.Is(err, vfs.ErrNoEnt) && flags&OCreate != 0:
+		if mode == 0 {
+			mode = 0644
+		}
+		fh, attr, err = fs.proto.Create(ctx, dir, name, mode, flags&OExcl != 0)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	fs.names.Put(dir, name, fh)
+	fs.attrs.Put(fh, attr)
+
+	// Close-to-open: discard stale pages if the file changed.
+	key := fhKey(fh)
+	fs.verMu.Lock()
+	prev, seen := fs.versions[key]
+	cur := fileVersion{mtime: attr.Mtime, size: attr.Size}
+	if seen && prev != cur {
+		fs.pages.DropFile(fh)
+	}
+	fs.versions[key] = cur
+	fs.verMu.Unlock()
+
+	return &File{fs: fs, fh: fh, path: path, size: int64(attr.Size)}, nil
+}
+
+// Handle returns the file's NFS handle.
+func (f *File) Handle() nfs3.FH3 { return f.fh }
+
+// Size returns the file's current (locally known) size.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Stat returns fresh-enough attributes for the file.
+func (f *File) Stat(ctx context.Context) (nfs3.Fattr3, error) {
+	return f.fs.getAttr(ctx, f.fh)
+}
+
+// readBlock returns the given block, from cache or the server.
+func (fs *FileSystem) readBlock(ctx context.Context, fh nfs3.FH3, block uint64) ([]byte, error) {
+	if data, ok := fs.pages.Get(fh, block); ok {
+		return data, nil
+	}
+	bs := uint64(fs.opt.BlockSize)
+	data, _, err := fs.proto.Read(ctx, fh, block*bs, uint32(bs))
+	if err != nil {
+		return nil, err
+	}
+	fs.statMu.Lock()
+	fs.rpcReads++
+	fs.statMu.Unlock()
+	fs.insertClean(ctx, fh, block, data)
+	return data, nil
+}
+
+// insertClean puts a clean block in the cache and writes back any
+// dirty blocks evicted by the insertion.
+func (fs *FileSystem) insertClean(ctx context.Context, fh nfs3.FH3, block uint64, data []byte) {
+	evicted := fs.pages.Put(fh, block, data, false)
+	for _, b := range evicted {
+		fs.writeBackBlock(ctx, b)
+	}
+}
+
+func (fs *FileSystem) writeBackBlock(ctx context.Context, b *cacheBlock) {
+	fh := nfs3.FH3{Data: []byte(b.key.fh)}
+	off := b.key.block * uint64(fs.opt.BlockSize)
+	if _, err := fs.proto.Write(ctx, fh, off, b.data, nfs3.FileSync); err == nil {
+		fs.statMu.Lock()
+		fs.rpcWrites++
+		fs.statMu.Unlock()
+	}
+}
+
+// ReadAt reads len(p) bytes at offset off.
+func (f *File) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	fs := f.fs
+	bs := int64(fs.opt.BlockSize)
+	attr, err := fs.getAttr(ctx, f.fh)
+	if err != nil {
+		return 0, err
+	}
+	size := int64(attr.Size)
+	if f.Size() > size {
+		size = f.Size() // locally extended under write-behind
+	}
+	if off >= size {
+		return 0, io.EOF
+	}
+	if off+int64(len(p)) > size {
+		p = p[:size-off]
+	}
+	read := 0
+	for read < len(p) {
+		pos := off + int64(read)
+		block := uint64(pos / bs)
+		inner := pos % bs
+		data, err := fs.readBlock(ctx, f.fh, block)
+		if err != nil {
+			return read, err
+		}
+		n := 0
+		if inner < int64(len(data)) {
+			n = copy(p[read:], data[inner:])
+		}
+		// Zero-fill the remainder of this block: a hole, or a cached
+		// block captured at an earlier, shorter EOF. Always advances
+		// at least one byte, since inner < blockSize.
+		zeroEnd := int64(block+1) * bs
+		for read+n < len(p) && pos+int64(n) < zeroEnd {
+			p[read+n] = 0
+			n++
+		}
+		read += n
+		fs.maybeReadahead(ctx, f.fh, block, uint64(size))
+	}
+	var eof error
+	if off+int64(read) >= size {
+		eof = io.EOF
+	}
+	return read, eof
+}
+
+// maybeReadahead prefetches subsequent blocks when access is
+// sequential.
+func (fs *FileSystem) maybeReadahead(ctx context.Context, fh nfs3.FH3, block, size uint64) {
+	if fs.opt.Readahead <= 0 {
+		return
+	}
+	key := fhKey(fh)
+	fs.seqMu.Lock()
+	sequential := fs.lastEnd[key] == block
+	fs.lastEnd[key] = block + 1
+	fs.seqMu.Unlock()
+	if !sequential {
+		return
+	}
+	bs := uint64(fs.opt.BlockSize)
+	maxBlock := (size + bs - 1) / bs
+	for i := 1; i <= fs.opt.Readahead; i++ {
+		next := block + uint64(i)
+		if next >= maxBlock {
+			break
+		}
+		if _, ok := fs.pages.Get(fh, next); ok {
+			continue
+		}
+		go fs.readBlock(ctx, fh, next)
+	}
+}
+
+// WriteAt writes p at offset off.
+func (f *File) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
+	fs := f.fs
+	bs := int64(fs.opt.BlockSize)
+	if !fs.opt.WriteBehind {
+		if _, err := fs.proto.Write(ctx, f.fh, uint64(off), p, nfs3.FileSync); err != nil {
+			return 0, err
+		}
+		fs.statMu.Lock()
+		fs.rpcWrites++
+		fs.statMu.Unlock()
+		fs.pages.DropFile(f.fh)
+		f.extend(off + int64(len(p)))
+		return len(p), nil
+	}
+	written := 0
+	for written < len(p) {
+		pos := off + int64(written)
+		block := uint64(pos / bs)
+		inner := pos % bs
+		n := int(bs - inner)
+		if n > len(p)-written {
+			n = len(p) - written
+		}
+		if err := f.writeCached(ctx, block, inner, p[written:written+n]); err != nil {
+			return written, err
+		}
+		written += n
+	}
+	f.extend(off + int64(written))
+	fs.attrs.Update(f.fh, func(a *nfs3.Fattr3) {
+		if uint64(f.Size()) > a.Size {
+			a.Size = uint64(f.Size())
+		}
+	})
+	return written, nil
+}
+
+func (f *File) extend(end int64) {
+	f.mu.Lock()
+	if end > f.size {
+		f.size = end
+	}
+	f.mu.Unlock()
+}
+
+// writeCached merges data into the block cache as a dirty block,
+// fetching the block first when the write is partial and the file
+// already has data there.
+func (f *File) writeCached(ctx context.Context, block uint64, inner int64, data []byte) error {
+	fs := f.fs
+	bs := int64(fs.opt.BlockSize)
+	var blockData []byte
+	if cached, ok := fs.pages.Get(f.fh, block); ok {
+		blockData = append([]byte(nil), cached...)
+	} else if inner == 0 && int64(len(data)) == bs {
+		blockData = nil // full overwrite, no fetch needed
+	} else {
+		// Partial write: read-modify-write unless beyond current EOF.
+		blockStart := int64(block) * bs
+		if blockStart < f.Size() {
+			got, _, err := fs.proto.Read(ctx, f.fh, uint64(blockStart), uint32(bs))
+			if err != nil {
+				return err
+			}
+			fs.statMu.Lock()
+			fs.rpcReads++
+			fs.statMu.Unlock()
+			blockData = append([]byte(nil), got...)
+		}
+	}
+	need := inner + int64(len(data))
+	if int64(len(blockData)) < need {
+		grown := make([]byte, need)
+		copy(grown, blockData)
+		blockData = grown
+	}
+	copy(blockData[inner:], data)
+	evicted := fs.pages.Put(f.fh, block, blockData, true)
+	for _, b := range evicted {
+		fs.writeBackBlock(ctx, b)
+	}
+	return nil
+}
+
+// Read reads sequentially from the file's current offset.
+func (f *File) Read(ctx context.Context, p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.offset
+	f.mu.Unlock()
+	n, err := f.ReadAt(ctx, p, off)
+	f.mu.Lock()
+	f.offset += int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// Write writes sequentially at the file's current offset.
+func (f *File) Write(ctx context.Context, p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.offset
+	f.mu.Unlock()
+	n, err := f.WriteAt(ctx, p, off)
+	f.mu.Lock()
+	f.offset += int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// Seek sets the file offset.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		f.offset = offset
+	case io.SeekCurrent:
+		f.offset += offset
+	case io.SeekEnd:
+		f.offset = f.size + offset
+	default:
+		return 0, vfs.ErrInval
+	}
+	return f.offset, nil
+}
+
+// flushFile writes back all dirty blocks of fh and commits them.
+func (fs *FileSystem) flushFile(ctx context.Context, fh nfs3.FH3) error {
+	dirty := fs.pages.DirtyBlocks(fh)
+	if len(dirty) == 0 {
+		return nil
+	}
+	// Flush with bounded concurrency; the RPC client pipelines them.
+	sem := make(chan struct{}, 8)
+	errCh := make(chan error, len(dirty))
+	bs := uint64(fs.opt.BlockSize)
+	for _, b := range dirty {
+		sem <- struct{}{}
+		go func(b *cacheBlock) {
+			defer func() { <-sem }()
+			_, err := fs.proto.Write(ctx, fh, b.key.block*bs, b.data, nfs3.Unstable)
+			if err == nil {
+				fs.statMu.Lock()
+				fs.rpcWrites++
+				fs.statMu.Unlock()
+			}
+			errCh <- err
+		}(b)
+	}
+	var firstErr error
+	for range dirty {
+		if err := <-errCh; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return fs.proto.Commit(ctx, fh, 0, 0)
+}
+
+// Sync flushes the file's dirty blocks and commits them.
+func (f *File) Sync(ctx context.Context) error { return f.fs.flushFile(ctx, f.fh) }
+
+// Close flushes dirty data (write-behind) and releases the file.
+func (f *File) Close(ctx context.Context) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	if err := f.fs.flushFile(ctx, f.fh); err != nil {
+		return err
+	}
+	// Record the post-close version so a subsequent open by this
+	// client keeps its pages (close-to-open).
+	if attr, err := f.fs.proto.GetAttr(ctx, f.fh); err == nil {
+		f.fs.attrs.Put(f.fh, attr)
+		f.fs.verMu.Lock()
+		f.fs.versions[fhKey(f.fh)] = fileVersion{mtime: attr.Mtime, size: attr.Size}
+		f.fs.verMu.Unlock()
+	}
+	return nil
+}

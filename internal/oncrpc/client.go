@@ -1,0 +1,239 @@
+package oncrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xdr"
+)
+
+// ErrClientClosed is returned by Call after Close, or when the
+// underlying transport fails.
+var ErrClientClosed = errors.New("oncrpc: client closed")
+
+// Client is a connection-oriented ONC RPC client bound to one program
+// and version on a single transport. It is safe for concurrent use:
+// multiple goroutines may issue calls simultaneously and replies are
+// matched to callers by transaction ID, so the transport is naturally
+// pipelined when callers overlap.
+type Client struct {
+	prog, vers uint32
+
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes record writes
+
+	mu      sync.Mutex
+	pending map[uint32]chan []byte
+	err     error // sticky transport error
+	closed  bool
+
+	xid atomic.Uint32
+
+	// Cred supplies the credential attached to each call. Nil means
+	// AUTH_NONE. It may be swapped with SetCred while calls are in
+	// flight (SGFS proxies remap credentials per forwarded request, so
+	// per-call creds are passed via CallCred instead).
+	credMu sync.RWMutex
+	cred   OpaqueAuth
+}
+
+// NewClient wraps an established transport as an RPC client for the
+// given program and version. The client owns the connection and closes
+// it on Close or transport error.
+func NewClient(conn net.Conn, prog, vers uint32) *Client {
+	c := &Client{
+		prog:    prog,
+		vers:    vers,
+		conn:    conn,
+		pending: make(map[uint32]chan []byte),
+		cred:    AuthNone,
+	}
+	c.xid.Store(rand.Uint32())
+	go c.readLoop()
+	return c
+}
+
+// SetCred installs the default credential used by Call.
+func (c *Client) SetCred(a OpaqueAuth) {
+	c.credMu.Lock()
+	c.cred = a
+	c.credMu.Unlock()
+}
+
+func (c *Client) defaultCred() OpaqueAuth {
+	c.credMu.RLock()
+	defer c.credMu.RUnlock()
+	return c.cred
+}
+
+// Close tears down the transport and fails all outstanding calls.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return nil
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	pend := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+func (c *Client) readLoop() {
+	var buf []byte
+	for {
+		rec, err := readRecord(c.conn, buf)
+		if err != nil {
+			c.fail(fmt.Errorf("oncrpc: transport read: %w", err))
+			return
+		}
+		if len(rec) < 4 {
+			c.fail(errors.New("oncrpc: short reply record"))
+			return
+		}
+		xid := uint32(rec[0])<<24 | uint32(rec[1])<<16 | uint32(rec[2])<<8 | uint32(rec[3])
+		c.mu.Lock()
+		ch, ok := c.pending[xid]
+		if ok {
+			delete(c.pending, xid)
+		}
+		c.mu.Unlock()
+		if !ok {
+			// Unsolicited reply (e.g. for a call abandoned on context
+			// cancellation): drop it and reuse the buffer.
+			buf = rec
+			continue
+		}
+		// Hand ownership of rec to the waiter; allocate fresh next time.
+		ch <- rec
+		buf = nil
+	}
+}
+
+// Call issues proc with the default credential. See CallCred.
+func (c *Client) Call(ctx context.Context, proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) error {
+	return c.CallCred(ctx, proc, c.defaultCred(), args, reply)
+}
+
+// CallCred issues an RPC with an explicit credential, blocking until
+// the matching reply arrives, the context is done, or the transport
+// fails. args may be nil for void procedures; reply may be nil when the
+// result body is void or should be discarded.
+func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, args xdr.Marshaler, reply xdr.Unmarshaler) error {
+	xid := c.xid.Add(1)
+
+	var body xdr.Buffer
+	enc := xdr.NewEncoder(&body)
+	hdr := callHeader{XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc, Cred: cred, Verf: AuthNone}
+	hdr.EncodeXDR(enc)
+	if args != nil {
+		args.EncodeXDR(enc)
+	}
+	if err := enc.Err(); err != nil {
+		return fmt.Errorf("oncrpc: encode call: %w", err)
+	}
+
+	ch := make(chan []byte, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.pending[xid] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeRecord(c.conn, body.Bytes())
+	c.writeMu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("oncrpc: transport write: %w", err))
+		return c.err
+	}
+
+	select {
+	case rec, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return err
+		}
+		return decodeReply(rec, reply)
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// decodeReply parses a reply record (beginning at the xid) and, on
+// success, decodes the result body into reply.
+func decodeReply(rec []byte, reply xdr.Unmarshaler) error {
+	buf := xdr.Buffer{}
+	buf.Write(rec)
+	d := xdr.NewDecoder(&buf)
+	_ = d.Uint32() // xid, already matched
+	if mt := d.Uint32(); mt != msgReply {
+		return fmt.Errorf("oncrpc: expected REPLY, got message type %d", mt)
+	}
+	switch stat := d.Uint32(); stat {
+	case msgAccepted:
+		var verf OpaqueAuth
+		verf.DecodeXDR(d)
+		astat := AcceptStat(d.Uint32())
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("oncrpc: decode reply header: %w", err)
+		}
+		switch astat {
+		case Success:
+			if reply == nil {
+				return nil
+			}
+			reply.DecodeXDR(d)
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("oncrpc: decode result: %w", err)
+			}
+			return nil
+		case ProgMismatch:
+			_ = d.Uint32() // low
+			_ = d.Uint32() // high
+			return &RPCError{Accept: astat}
+		default:
+			return &RPCError{Accept: astat}
+		}
+	case msgDenied:
+		rstat := RejectStat(d.Uint32())
+		re := &RPCError{Rejected: true, Reject: rstat}
+		switch rstat {
+		case RPCMismatch:
+			_ = d.Uint32()
+			_ = d.Uint32()
+		case AuthError:
+			re.Auth = AuthStat(d.Uint32())
+		}
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("oncrpc: decode rejection: %w", err)
+		}
+		return re
+	default:
+		return fmt.Errorf("oncrpc: bad reply stat %d", stat)
+	}
+}

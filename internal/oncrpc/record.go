@@ -1,0 +1,92 @@
+package oncrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record marking (RFC 5531 §11): on stream transports each RPC message
+// is sent as one or more fragments, each prefixed by a 4-byte header
+// whose high bit marks the final fragment and whose low 31 bits hold
+// the fragment length.
+
+const (
+	lastFragmentBit = 1 << 31
+	fragmentLenMask = lastFragmentBit - 1
+
+	// maxRecordSize bounds a reassembled record; NFSv3 messages in this
+	// codebase never exceed a few hundred KB (32 KB data blocks plus
+	// headers), so 8 MiB leaves ample headroom while preventing a
+	// corrupt length from exhausting memory.
+	maxRecordSize = 8 << 20
+
+	// maxFragmentWrite is the largest fragment this implementation
+	// emits; records larger than this are split across fragments,
+	// exercising the reassembly path of peers.
+	maxFragmentWrite = 1 << 20
+)
+
+// ErrRecordTooLarge reports a record whose reassembled size exceeds
+// maxRecordSize.
+var ErrRecordTooLarge = errors.New("oncrpc: record exceeds maximum size")
+
+// writeRecord writes p as a record-marked message, splitting into
+// multiple fragments when p is large.
+func writeRecord(w io.Writer, p []byte) error {
+	var hdr [4]byte
+	for {
+		n := len(p)
+		last := true
+		if n > maxFragmentWrite {
+			n = maxFragmentWrite
+			last = false
+		}
+		v := uint32(n)
+		if last {
+			v |= lastFragmentBit
+		}
+		binary.BigEndian.PutUint32(hdr[:], v)
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(p[:n]); err != nil {
+			return err
+		}
+		p = p[n:]
+		if last {
+			return nil
+		}
+	}
+}
+
+// readRecord reads one complete record-marked message, reassembling
+// fragments. The provided buffer is reused when large enough.
+func readRecord(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	out := buf[:0]
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		v := binary.BigEndian.Uint32(hdr[:])
+		n := int(v & fragmentLenMask)
+		if len(out)+n > maxRecordSize {
+			return nil, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(out)+n)
+		}
+		off := len(out)
+		if cap(out) < off+n {
+			grown := make([]byte, off, off+n)
+			copy(grown, out)
+			out = grown
+		}
+		out = out[:off+n]
+		if _, err := io.ReadFull(r, out[off:]); err != nil {
+			return nil, err
+		}
+		if v&lastFragmentBit != 0 {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package oncrpc implements the ONC Remote Procedure Call protocol,
+// version 2 (RFC 5531), over connection-oriented transports with
+// record marking (RFC 5531 §11).
+//
+// The package supplies the wire message formats (call, reply, opaque
+// authentication with AUTH_NONE and AUTH_SYS flavors), a concurrent
+// client that matches replies to outstanding calls by transaction ID,
+// and a multithreaded server that dispatches registered program /
+// version / procedure handlers. It is the substrate beneath the NFS,
+// MOUNT and SGFS proxy protocols in this repository, mirroring the
+// role TI-RPC plays in the paper's prototype.
+package oncrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// RPC protocol version implemented by this package.
+const RPCVersion = 2
+
+// Message types.
+const (
+	msgCall  = 0
+	msgReply = 1
+)
+
+// Reply status.
+const (
+	msgAccepted = 0
+	msgDenied   = 1
+)
+
+// AcceptStat describes the outcome of an accepted call (RFC 5531 §9).
+type AcceptStat uint32
+
+// Accept status values.
+const (
+	Success      AcceptStat = 0 // RPC executed successfully
+	ProgUnavail  AcceptStat = 1 // remote hasn't exported the program
+	ProgMismatch AcceptStat = 2 // remote can't support version number
+	ProcUnavail  AcceptStat = 3 // program can't support procedure
+	GarbageArgs  AcceptStat = 4 // procedure can't decode params
+	SystemErr    AcceptStat = 5 // server-side memory or internal error
+)
+
+func (s AcceptStat) String() string {
+	switch s {
+	case Success:
+		return "SUCCESS"
+	case ProgUnavail:
+		return "PROG_UNAVAIL"
+	case ProgMismatch:
+		return "PROG_MISMATCH"
+	case ProcUnavail:
+		return "PROC_UNAVAIL"
+	case GarbageArgs:
+		return "GARBAGE_ARGS"
+	case SystemErr:
+		return "SYSTEM_ERR"
+	default:
+		return fmt.Sprintf("AcceptStat(%d)", uint32(s))
+	}
+}
+
+// RejectStat describes why a call was rejected.
+type RejectStat uint32
+
+// Reject status values.
+const (
+	RPCMismatch RejectStat = 0 // RPC version number != 2
+	AuthError   RejectStat = 1 // authentication failed
+)
+
+// AuthStat describes why authentication failed (RFC 5531 §9).
+type AuthStat uint32
+
+// Authentication status values.
+const (
+	AuthOK           AuthStat = 0
+	AuthBadCred      AuthStat = 1 // bad credential (seal broken)
+	AuthRejectedCred AuthStat = 2 // client must begin new session
+	AuthBadVerf      AuthStat = 3
+	AuthRejectedVerf AuthStat = 4
+	AuthTooWeak      AuthStat = 5 // rejected for security reasons
+	AuthInvalidResp  AuthStat = 6
+	AuthFailed       AuthStat = 7 // reason unknown
+)
+
+// Authentication flavors.
+const (
+	AuthFlavorNone = 0
+	AuthFlavorSys  = 1
+)
+
+// Maximum size of an opaque auth body (RFC 5531 §8.2).
+const maxAuthBody = 400
+
+// OpaqueAuth is the discriminated authentication blob carried in every
+// call and reply.
+type OpaqueAuth struct {
+	Flavor uint32
+	Body   []byte
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *OpaqueAuth) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(a.Flavor)
+	e.Opaque(a.Body)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *OpaqueAuth) DecodeXDR(d *xdr.Decoder) {
+	a.Flavor = d.Uint32()
+	a.Body = d.Opaque()
+	if len(a.Body) > maxAuthBody {
+		// RFC 5531 bounds auth bodies at 400 bytes; longer bodies
+		// indicate a corrupt or hostile stream.
+		d.SetErr(errors.New("oncrpc: opaque auth body exceeds 400 bytes"))
+	}
+}
+
+// AuthSys is the AUTH_SYS ("UNIX") credential body: the caller's
+// local identity as seen by its own operating system. In SGFS these
+// identities never cross trust boundaries directly — the server-side
+// proxy remaps them according to the gridmap (see internal/idmap).
+type AuthSys struct {
+	Stamp       uint32
+	MachineName string
+	UID         uint32
+	GID         uint32
+	GIDs        []uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *AuthSys) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(a.Stamp)
+	e.String(a.MachineName)
+	e.Uint32(a.UID)
+	e.Uint32(a.GID)
+	e.Uint32(uint32(len(a.GIDs)))
+	for _, g := range a.GIDs {
+		e.Uint32(g)
+	}
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *AuthSys) DecodeXDR(d *xdr.Decoder) {
+	a.Stamp = d.Uint32()
+	a.MachineName = d.String()
+	a.UID = d.Uint32()
+	a.GID = d.Uint32()
+	n := d.Uint32()
+	if n > 16 { // RFC 5531 limits AUTH_SYS to 16 supplementary groups
+		d.SetErr(errors.New("oncrpc: AUTH_SYS credential lists more than 16 groups"))
+		return
+	}
+	a.GIDs = make([]uint32, n)
+	for i := range a.GIDs {
+		a.GIDs[i] = d.Uint32()
+	}
+}
+
+// Auth builds the OpaqueAuth carrying this AUTH_SYS credential.
+func (a *AuthSys) Auth() (OpaqueAuth, error) {
+	b, err := xdr.Marshal(a)
+	if err != nil {
+		return OpaqueAuth{}, err
+	}
+	return OpaqueAuth{Flavor: AuthFlavorSys, Body: b}, nil
+}
+
+// AuthNone is the empty credential.
+var AuthNone = OpaqueAuth{Flavor: AuthFlavorNone}
+
+// callHeader is the fixed prefix of an RPC call message.
+type callHeader struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred OpaqueAuth
+	Verf OpaqueAuth
+}
+
+func (h *callHeader) EncodeXDR(e *xdr.Encoder) {
+	e.Uint32(h.XID)
+	e.Uint32(msgCall)
+	e.Uint32(RPCVersion)
+	e.Uint32(h.Prog)
+	e.Uint32(h.Vers)
+	e.Uint32(h.Proc)
+	h.Cred.EncodeXDR(e)
+	h.Verf.EncodeXDR(e)
+}
+
+func (h *callHeader) DecodeXDR(d *xdr.Decoder) error {
+	h.XID = d.Uint32()
+	if mt := d.Uint32(); mt != msgCall {
+		return fmt.Errorf("oncrpc: expected CALL message, got type %d", mt)
+	}
+	if v := d.Uint32(); v != RPCVersion {
+		return errRPCVersion
+	}
+	h.Prog = d.Uint32()
+	h.Vers = d.Uint32()
+	h.Proc = d.Uint32()
+	h.Cred.DecodeXDR(d)
+	h.Verf.DecodeXDR(d)
+	return d.Err()
+}
+
+var errRPCVersion = errors.New("oncrpc: unsupported RPC version")
+
+// RPCError is a non-SUCCESS outcome reported by the RPC layer itself
+// (as opposed to an application-level status inside the result).
+type RPCError struct {
+	// Rejected is true when the server denied the call outright.
+	Rejected bool
+	// Reject holds the rejection reason when Rejected.
+	Reject RejectStat
+	// Auth holds the authentication failure detail for AuthError.
+	Auth AuthStat
+	// Accept holds the accepted-but-failed status otherwise.
+	Accept AcceptStat
+}
+
+// Error implements error.
+func (e *RPCError) Error() string {
+	if e.Rejected {
+		if e.Reject == AuthError {
+			return fmt.Sprintf("oncrpc: call denied: AUTH_ERROR (stat %d)", e.Auth)
+		}
+		return "oncrpc: call denied: RPC_MISMATCH"
+	}
+	return "oncrpc: call failed: " + e.Accept.String()
+}
+
+// IsAuthError reports whether err is an RPC authentication rejection.
+func IsAuthError(err error) bool {
+	var re *RPCError
+	return errors.As(err, &re) && re.Rejected && re.Reject == AuthError
+}

@@ -1,0 +1,651 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"net"
+
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/mountd"
+	"repro/internal/nfs3"
+	"repro/internal/oncrpc"
+	"repro/internal/securechan"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// ClientConfig configures a client-side proxy.
+type ClientConfig struct {
+	// ServerDial connects to the server-side proxy.
+	ServerDial Dialer
+	// Channel, when non-nil, wraps the server connection in a secure
+	// channel with these parameters. Nil sends plaintext (gfs).
+	Channel *securechan.Config
+	// ExportPath is the remote export to attach to.
+	ExportPath string
+	// DiskCache, when non-nil, enables block/attr/access caching with
+	// write-back. Nil forwards everything (the LAN configurations of
+	// the paper run without disk caching, §6.3.1).
+	DiskCache *cache.DiskCache
+	// RekeyInterval enables periodic session-key renegotiation.
+	RekeyInterval time.Duration
+	// StorageKey, when non-empty (32 bytes recommended), enables
+	// at-rest encryption: blocks are encrypted before they reach the
+	// server and decrypted on the way back, so untrusted servers and
+	// administrators only ever hold ciphertext (the paper's §7 future
+	// work).
+	StorageKey []byte
+	// Meter, when non-nil, accumulates the proxy's processing time
+	// (client-side series of Figure 5).
+	Meter *metrics.Meter
+}
+
+// ClientProxy is the client-side SGFS proxy: the local NFS client
+// mounts it as if it were the file server.
+type ClientProxy struct {
+	cfg  ClientConfig
+	rpc  *oncrpc.Server
+	up   *oncrpc.Client
+	conn net.Conn
+	root nfs3.FH3
+}
+
+// NewClientProxy establishes the channel to the server-side proxy,
+// mounts the export through it, and returns a proxy ready to serve
+// the local client.
+func NewClientProxy(cfg ClientConfig) (*ClientProxy, error) {
+	raw, err := cfg.ServerDial()
+	if err != nil {
+		return nil, fmt.Errorf("proxy: dial server proxy: %w", err)
+	}
+	var conn net.Conn = raw
+	if cfg.Channel != nil {
+		sc, err := securechan.Client(raw, cfg.Channel)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: secure channel: %w", err)
+		}
+		if cfg.RekeyInterval > 0 {
+			sc.StartAutoRekey(cfg.RekeyInterval)
+		}
+		conn = sc
+	}
+	p := &ClientProxy{
+		cfg:  cfg,
+		rpc:  oncrpc.NewServer(),
+		conn: conn,
+	}
+
+	// The NFS and MOUNT programs of the server proxy share one
+	// transport; MOUNT needs its own RPC client (program binding).
+	// Issue the mount through a dedicated short-lived channel.
+	mraw, err := cfg.ServerDial()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var mconn net.Conn = mraw
+	if cfg.Channel != nil {
+		sc, err := securechan.Client(mraw, cfg.Channel)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		mconn = sc
+	}
+	mc := oncrpc.NewClient(mconn, mountd.Program, mountd.Version)
+	var mres mountd.MntRes
+	err = mc.Call(context.Background(), mountd.ProcMnt, &mountd.MntArgs{Path: cfg.ExportPath}, &mres)
+	mc.Close()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("proxy: mount via server proxy: %w", err)
+	}
+	if mres.Status != mountd.MntOK {
+		conn.Close()
+		return nil, fmt.Errorf("proxy: mount refused: %w", vfs.Errno(mres.Status))
+	}
+	p.root = mres.FH
+	p.up = oncrpc.NewClient(conn, nfs3.Program, nfs3.Version)
+	p.register()
+	return p, nil
+}
+
+// Serve accepts local client connections until Close.
+func (p *ClientProxy) Serve(l net.Listener) error { return p.rpc.Serve(l) }
+
+// Close flushes dirty cached data to the server (write-back at session
+// end, as in Figures 9/10) and shuts the proxy down. It returns the
+// flush error, if any.
+func (p *ClientProxy) Close() error {
+	var err error
+	if p.cfg.DiskCache != nil {
+		err = p.FlushAll(context.Background())
+	}
+	p.rpc.Close()
+	p.up.Close()
+	return err
+}
+
+// Channel returns the secure channel, when one is in use.
+func (p *ClientProxy) Channel() (*securechan.Conn, bool) {
+	sc, ok := p.conn.(*securechan.Conn)
+	return sc, ok
+}
+
+// CacheStats returns disk cache statistics, when caching is enabled.
+func (p *ClientProxy) CacheStats() (cache.Stats, bool) {
+	if p.cfg.DiskCache == nil {
+		return cache.Stats{}, false
+	}
+	return p.cfg.DiskCache.Stats(), true
+}
+
+// FlushAll writes every dirty cached block back to the server. The
+// time this takes is the paper's separately-reported "time needed to
+// write back data at the end of execution".
+func (p *ClientProxy) FlushAll(ctx context.Context) error {
+	dc := p.cfg.DiskCache
+	if dc == nil {
+		return nil
+	}
+	bs := uint64(dc.BlockSize())
+	var firstErr error
+	for _, fh := range dc.DirtyFiles() {
+		for _, idx := range dc.DirtyList(fh) {
+			data, ok := dc.GetBlock(fh, idx)
+			if !ok {
+				continue
+			}
+			// Clip the final block to the cached file size so the
+			// flush does not extend the file with block padding.
+			if attr, ok := dc.GetAttr(fh); ok {
+				blockStart := idx * bs
+				if blockStart+uint64(len(data)) > attr.Size {
+					if attr.Size <= blockStart {
+						dc.FlushDone(fh, idx)
+						continue
+					}
+					data = data[:attr.Size-blockStart]
+				}
+			}
+			if len(p.cfg.StorageKey) > 0 {
+				data = atRestCrypt(p.cfg.StorageKey, fh, idx*bs, data)
+			}
+			args := &nfs3.WriteArgs{Obj: fh, Offset: idx * bs, Count: uint32(len(data)), Stable: nfs3.FileSync, Data: data}
+			var res nfs3.WriteRes
+			if err := p.upCall(ctx, nfs3.ProcWrite, args, &res); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if res.Status != nfs3.OK {
+				if firstErr == nil {
+					firstErr = res.Status.Error()
+				}
+				continue
+			}
+			dc.FlushDone(fh, idx)
+		}
+	}
+	return firstErr
+}
+
+// upCall issues an upstream RPC, crediting the wait back to the meter
+// so metered handler time approximates local processing (the paper's
+// proxy CPU, Figures 5/6) rather than wall-clock.
+func (p *ClientProxy) upCall(ctx context.Context, proc uint32, args xdr.Marshaler, res xdr.Unmarshaler) error {
+	if p.cfg.Meter == nil {
+		return p.up.Call(ctx, proc, args, res)
+	}
+	start := time.Now()
+	err := p.up.Call(ctx, proc, args, res)
+	p.cfg.Meter.Add(-time.Since(start))
+	return err
+}
+
+func (p *ClientProxy) register() {
+	p.rpc.Register(mountd.Program, mountd.Version, map[uint32]oncrpc.Handler{
+		mountd.ProcMnt: func(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+			var a mountd.MntArgs
+			if call.DecodeArgs(&a) != nil {
+				return nil, oncrpc.GarbageArgs
+			}
+			if a.Path != p.cfg.ExportPath {
+				return &mountd.MntRes{Status: mountd.MntNoEnt}, oncrpc.Success
+			}
+			return &mountd.MntRes{Status: mountd.MntOK, FH: p.root, Flavors: []uint32{oncrpc.AuthFlavorSys}}, oncrpc.Success
+		},
+		mountd.ProcUmnt: func(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+			var a mountd.MntArgs
+			call.DecodeArgs(&a)
+			return nil, oncrpc.Success
+		},
+	})
+	h := map[uint32]oncrpc.Handler{
+		nfs3.ProcGetAttr:     p.getattr,
+		nfs3.ProcSetAttr:     p.setattr,
+		nfs3.ProcLookup:      p.lookup,
+		nfs3.ProcAccess:      p.access,
+		nfs3.ProcReadLink:    p.fwd(nfs3.ProcReadLink, func() args { return &nfs3.ReadLinkArgs{} }, func() result { return &nfs3.ReadLinkRes{} }),
+		nfs3.ProcRead:        p.read,
+		nfs3.ProcWrite:       p.write,
+		nfs3.ProcCreate:      p.create,
+		nfs3.ProcMkdir:       p.fwd(nfs3.ProcMkdir, func() args { return &nfs3.MkdirArgs{} }, func() result { return &nfs3.CreateRes{} }),
+		nfs3.ProcSymlink:     p.fwd(nfs3.ProcSymlink, func() args { return &nfs3.SymlinkArgs{} }, func() result { return &nfs3.CreateRes{} }),
+		nfs3.ProcRemove:      p.remove,
+		nfs3.ProcRmdir:       p.fwd(nfs3.ProcRmdir, func() args { return &nfs3.RemoveArgs{} }, func() result { return &nfs3.WccRes{} }),
+		nfs3.ProcRename:      p.fwd(nfs3.ProcRename, func() args { return &nfs3.RenameArgs{} }, func() result { return &nfs3.RenameRes{} }),
+		nfs3.ProcLink:        p.fwd(nfs3.ProcLink, func() args { return &nfs3.LinkArgs{} }, func() result { return &nfs3.LinkRes{} }),
+		nfs3.ProcReadDir:     p.fwd(nfs3.ProcReadDir, func() args { return &nfs3.ReadDirArgs{} }, func() result { return &nfs3.ReadDirRes{} }),
+		nfs3.ProcReadDirPlus: p.readdirplus,
+		nfs3.ProcFSStat:      p.fwd(nfs3.ProcFSStat, func() args { return &nfs3.FSStatArgs{} }, func() result { return &nfs3.FSStatRes{} }),
+		nfs3.ProcFSInfo:      p.fwd(nfs3.ProcFSInfo, func() args { return &nfs3.FSStatArgs{} }, func() result { return &nfs3.FSInfoRes{} }),
+		nfs3.ProcPathConf:    p.fwd(nfs3.ProcPathConf, func() args { return &nfs3.FSStatArgs{} }, func() result { return &nfs3.PathConfRes{} }),
+		nfs3.ProcCommit:      p.commit,
+	}
+	if p.cfg.Meter != nil {
+		for k, fn := range h {
+			fn := fn
+			h[k] = func(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+				start := time.Now()
+				res, stat := fn(ctx, call)
+				p.cfg.Meter.Add(time.Since(start))
+				return res, stat
+			}
+		}
+	}
+	p.rpc.Register(nfs3.Program, nfs3.Version, h)
+}
+
+type args interface {
+	xdr.Marshaler
+	xdr.Unmarshaler
+}
+type result = args
+
+// fwd builds a pure pass-through handler.
+func (p *ClientProxy) fwd(proc uint32, newArgs func() args, newRes func() result) oncrpc.Handler {
+	return func(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+		a := newArgs()
+		if call.DecodeArgs(a) != nil {
+			return nil, oncrpc.GarbageArgs
+		}
+		res := newRes()
+		if err := p.upCall(ctx, proc, a, res); err != nil {
+			return nil, oncrpc.SystemErr
+		}
+		return res, oncrpc.Success
+	}
+}
+
+// lookup forwards LOOKUP but overrides the returned attributes with
+// the session's cached view: a file with dirty write-back data has its
+// authoritative size and times here, not on the server.
+func (p *ClientProxy) lookup(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.LookupArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	var res nfs3.LookupRes
+	if err := p.upCall(ctx, nfs3.ProcLookup, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	dc := p.cfg.DiskCache
+	if dc != nil && res.Status == nfs3.OK {
+		if attr, ok := dc.GetAttr(res.Obj); ok {
+			res.Attr = nfs3.PostOpAttr{Present: true, Attr: attr}
+		} else if res.Attr.Present {
+			// Prime the session attr cache from the lookup (the paper's
+			// "aggressive disk caching of attributes").
+			dc.PutAttr(res.Obj, res.Attr.Attr)
+		}
+	}
+	return &res, oncrpc.Success
+}
+
+// readdirplus forwards READDIRPLUS, overriding per-entry attributes
+// with the session's cached view where one exists.
+func (p *ClientProxy) readdirplus(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.ReadDirPlusArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	var res nfs3.ReadDirPlusRes
+	if err := p.upCall(ctx, nfs3.ProcReadDirPlus, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	dc := p.cfg.DiskCache
+	if dc != nil && res.Status == nfs3.OK {
+		for i := range res.Entries {
+			e := &res.Entries[i]
+			if !e.FH.Present {
+				continue
+			}
+			if attr, ok := dc.GetAttr(e.FH.FH); ok {
+				e.Attr = nfs3.PostOpAttr{Present: true, Attr: attr}
+			} else if e.Attr.Present {
+				dc.PutAttr(e.FH.FH, e.Attr.Attr)
+			}
+		}
+	}
+	return &res, oncrpc.Success
+}
+
+func (p *ClientProxy) getattr(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.GetAttrArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	dc := p.cfg.DiskCache
+	if dc != nil {
+		if attr, ok := dc.GetAttr(a.Obj); ok {
+			return &nfs3.GetAttrRes{Status: nfs3.OK, Attr: attr}, oncrpc.Success
+		}
+	}
+	var res nfs3.GetAttrRes
+	if err := p.upCall(ctx, nfs3.ProcGetAttr, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	if dc != nil && res.Status == nfs3.OK {
+		dc.PutAttr(a.Obj, res.Attr)
+	}
+	return &res, oncrpc.Success
+}
+
+func (p *ClientProxy) setattr(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.SetAttrArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	dc := p.cfg.DiskCache
+	if dc != nil {
+		dc.InvalidateAttr(a.Obj)
+		if a.Attr.SetSize {
+			// Truncation invalidates cached data wholesale; simple and
+			// safe (truncates are rare in the target workloads).
+			dc.DropFile(a.Obj)
+		}
+	}
+	var res nfs3.WccRes
+	if err := p.upCall(ctx, nfs3.ProcSetAttr, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	return &res, oncrpc.Success
+}
+
+func (p *ClientProxy) access(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.AccessArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	dc := p.cfg.DiskCache
+	if dc != nil {
+		if granted, ok := dc.GetAccess(a.Obj); ok {
+			return &nfs3.AccessRes{Status: nfs3.OK, Access: granted & a.Access}, oncrpc.Success
+		}
+	}
+	// Ask for the full mask so the cached grant answers any later
+	// query.
+	full := a
+	full.Access = 0x3f
+	var res nfs3.AccessRes
+	if err := p.upCall(ctx, nfs3.ProcAccess, &full, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	if dc != nil && res.Status == nfs3.OK {
+		dc.PutAccess(a.Obj, res.Access)
+	}
+	res.Access &= a.Access
+	return &res, oncrpc.Success
+}
+
+func (p *ClientProxy) create(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.CreateArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	var res nfs3.CreateRes
+	if err := p.upCall(ctx, nfs3.ProcCreate, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	dc := p.cfg.DiskCache
+	if dc != nil && res.Status == nfs3.OK && res.Obj.Present && res.Attr.Present {
+		dc.PutAttr(res.Obj.FH, res.Attr.Attr)
+	}
+	return &res, oncrpc.Success
+}
+
+func (p *ClientProxy) remove(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.RemoveArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	dc := p.cfg.DiskCache
+	if dc != nil {
+		// Cancel pending write-back for the removed file: look the
+		// name up (cheap; usually cached upstream) to find its handle.
+		var lres nfs3.LookupRes
+		largs := &nfs3.LookupArgs{What: a.Obj}
+		if err := p.upCall(ctx, nfs3.ProcLookup, largs, &lres); err == nil && lres.Status == nfs3.OK {
+			dc.DropFile(lres.Obj)
+		}
+	}
+	var res nfs3.WccRes
+	if err := p.upCall(ctx, nfs3.ProcRemove, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	return &res, oncrpc.Success
+}
+
+func (p *ClientProxy) read(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.ReadArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	dc := p.cfg.DiskCache
+	if dc == nil {
+		var res nfs3.ReadRes
+		if err := p.upCall(ctx, nfs3.ProcRead, &a, &res); err != nil {
+			return nil, oncrpc.SystemErr
+		}
+		if len(p.cfg.StorageKey) > 0 && res.Status == nfs3.OK {
+			res.Data = atRestCrypt(p.cfg.StorageKey, a.Obj, a.Offset, res.Data)
+		}
+		return &res, oncrpc.Success
+	}
+
+	size, stat := p.cachedSize(ctx, a.Obj)
+	if stat != nfs3.OK {
+		return &nfs3.ReadRes{Status: stat}, oncrpc.Success
+	}
+	if a.Offset >= size {
+		return &nfs3.ReadRes{Status: nfs3.OK, EOF: true}, oncrpc.Success
+	}
+	want := uint64(a.Count)
+	if a.Offset+want > size {
+		want = size - a.Offset
+	}
+	out := make([]byte, 0, want)
+	bs := uint64(dc.BlockSize())
+	off := a.Offset
+	for uint64(len(out)) < want {
+		idx := off / bs
+		inner := off % bs
+		block, st := p.cacheBlock(ctx, a.Obj, idx, size)
+		if st != nfs3.OK {
+			return &nfs3.ReadRes{Status: st}, oncrpc.Success
+		}
+		n := uint64(len(block)) - inner
+		if inner >= uint64(len(block)) {
+			// Hole within a short cached block: zero-fill to block end.
+			n = bs - inner
+			block = make([]byte, bs)
+			inner = 0
+		}
+		remain := want - uint64(len(out))
+		if n > remain {
+			n = remain
+		}
+		out = append(out, block[inner:inner+n]...)
+		off += n
+	}
+	eof := a.Offset+uint64(len(out)) >= size
+	res := &nfs3.ReadRes{Status: nfs3.OK, Count: uint32(len(out)), EOF: eof, Data: out}
+	if attr, ok := dc.GetAttr(a.Obj); ok {
+		res.Attr = nfs3.PostOpAttr{Present: true, Attr: attr}
+	}
+	return res, oncrpc.Success
+}
+
+// cachedSize returns the file size, from the session attr cache or the
+// server.
+func (p *ClientProxy) cachedSize(ctx context.Context, fh nfs3.FH3) (uint64, nfs3.Status) {
+	dc := p.cfg.DiskCache
+	if attr, ok := dc.GetAttr(fh); ok {
+		return attr.Size, nfs3.OK
+	}
+	var res nfs3.GetAttrRes
+	if err := p.upCall(ctx, nfs3.ProcGetAttr, &nfs3.GetAttrArgs{Obj: fh}, &res); err != nil {
+		return 0, nfs3.Status(vfs.ErrIO)
+	}
+	if res.Status != nfs3.OK {
+		return 0, res.Status
+	}
+	dc.PutAttr(fh, res.Attr)
+	return res.Attr.Size, nfs3.OK
+}
+
+// cacheBlock returns block idx of fh, fetching from the server on a
+// miss.
+func (p *ClientProxy) cacheBlock(ctx context.Context, fh nfs3.FH3, idx uint64, size uint64) ([]byte, nfs3.Status) {
+	dc := p.cfg.DiskCache
+	if data, ok := dc.GetBlock(fh, idx); ok {
+		return data, nfs3.OK
+	}
+	bs := uint64(dc.BlockSize())
+	var res nfs3.ReadRes
+	args := &nfs3.ReadArgs{Obj: fh, Offset: idx * bs, Count: uint32(bs)}
+	if err := p.upCall(ctx, nfs3.ProcRead, args, &res); err != nil {
+		return nil, nfs3.Status(vfs.ErrIO)
+	}
+	if res.Status != nfs3.OK {
+		return nil, res.Status
+	}
+	data := res.Data
+	if len(p.cfg.StorageKey) > 0 {
+		data = atRestCrypt(p.cfg.StorageKey, fh, idx*bs, data)
+	}
+	dc.PutBlock(fh, idx, data, false)
+	return data, nfs3.OK
+}
+
+func (p *ClientProxy) write(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.WriteArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	dc := p.cfg.DiskCache
+	if dc == nil {
+		if len(p.cfg.StorageKey) > 0 {
+			a.Data = atRestCrypt(p.cfg.StorageKey, a.Obj, a.Offset, a.Data)
+		}
+		var res nfs3.WriteRes
+		if err := p.upCall(ctx, nfs3.ProcWrite, &a, &res); err != nil {
+			return nil, oncrpc.SystemErr
+		}
+		return &res, oncrpc.Success
+	}
+
+	// Write-back: absorb into the disk cache and acknowledge as
+	// FILE_SYNC — the cache directory is the stable store; the data
+	// flows to the server at flush time.
+	size, stat := p.cachedSize(ctx, a.Obj)
+	if stat != nfs3.OK {
+		return &nfs3.WriteRes{Status: stat}, oncrpc.Success
+	}
+	data := a.Data
+	if uint32(len(data)) > a.Count {
+		data = data[:a.Count]
+	}
+	bs := uint64(dc.BlockSize())
+	off := a.Offset
+	written := uint64(0)
+	for written < uint64(len(data)) {
+		pos := off + written
+		idx := pos / bs
+		inner := pos % bs
+		n := bs - inner
+		if n > uint64(len(data))-written {
+			n = uint64(len(data)) - written
+		}
+		var blockData []byte
+		if cached, ok := dc.GetBlock(a.Obj, idx); ok {
+			blockData = append([]byte(nil), cached...)
+		} else if inner == 0 && n == bs {
+			blockData = nil // full block overwrite
+		} else if idx*bs < size {
+			// Partial write into existing data: fetch for merge.
+			got, st := p.cacheBlock(ctx, a.Obj, idx, size)
+			if st != nfs3.OK {
+				return &nfs3.WriteRes{Status: st}, oncrpc.Success
+			}
+			blockData = append([]byte(nil), got...)
+		}
+		need := inner + n
+		if uint64(len(blockData)) < need {
+			grown := make([]byte, need)
+			copy(grown, blockData)
+			blockData = grown
+		}
+		copy(blockData[inner:], data[written:written+n])
+		if err := dc.PutBlock(a.Obj, idx, blockData, true); err != nil {
+			return &nfs3.WriteRes{Status: nfs3.Status(vfs.ErrIO)}, oncrpc.Success
+		}
+		written += n
+	}
+	end := a.Offset + written
+	if end > size {
+		size = end
+	}
+	now := nfs3.TimeToNFS(time.Now())
+	if _, ok := dc.GetAttr(a.Obj); ok {
+		dc.UpdateAttr(a.Obj, func(attr *nfs3.Fattr3) {
+			if size > attr.Size {
+				attr.Size = size
+			}
+			attr.Mtime = now
+			attr.Ctime = now
+		})
+	}
+	res := &nfs3.WriteRes{Status: nfs3.OK, Count: uint32(written), Committed: nfs3.FileSync}
+	if attr, ok := dc.GetAttr(a.Obj); ok {
+		res.Wcc.After = nfs3.PostOpAttr{Present: true, Attr: attr}
+	}
+	return res, oncrpc.Success
+}
+
+func (p *ClientProxy) commit(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.CommitArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	if p.cfg.DiskCache != nil {
+		// Data is stable in the disk cache; COMMIT succeeds locally.
+		res := &nfs3.CommitRes{Status: nfs3.OK}
+		if attr, ok := p.cfg.DiskCache.GetAttr(a.Obj); ok {
+			res.Wcc.After = nfs3.PostOpAttr{Present: true, Attr: attr}
+		}
+		return res, oncrpc.Success
+	}
+	var res nfs3.CommitRes
+	if err := p.upCall(ctx, nfs3.ProcCommit, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	return &res, oncrpc.Success
+}
+
+// errUnreachable is used in assertions only.

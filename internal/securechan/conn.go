@@ -1,0 +1,598 @@
+package securechan
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/xdr"
+)
+
+// Record types on the wire.
+const (
+	recHandshake = 1
+	recData      = 2
+	recRekey     = 3
+	recClose     = 4
+)
+
+// maxRecordPlaintext is the largest plaintext carried in one record.
+const maxRecordPlaintext = 16 * 1024
+
+// maxFrame bounds an incoming frame body.
+const maxFrame = maxRecordPlaintext + 1024
+
+// ErrChannelClosed is returned after the channel is closed locally or
+// by the peer.
+var ErrChannelClosed = errors.New("securechan: channel closed")
+
+// writeFrame writes a [type u8 | len u32 | body] frame.
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one frame, reusing buf when possible.
+func readFrame(r io.Reader, buf []byte) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("securechan: frame of %d bytes exceeds limit", n)
+	}
+	var body []byte
+	if int(n) <= cap(buf) {
+		body = buf[:n]
+	} else {
+		body = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], body, nil
+}
+
+// Conn is an established secure channel. It implements net.Conn; the
+// byte stream written on one side is delivered authenticated (and,
+// depending on the suite, encrypted) to the other.
+type Conn struct {
+	raw net.Conn
+
+	meter *metrics.Meter
+
+	suite  Suite
+	master []byte
+	hs     *handshakeState
+	client bool
+
+	peerChain []*x509.Certificate
+	peerDN    string
+
+	readMu   sync.Mutex
+	rSealer  *sealer
+	rGen     uint32
+	rbuf     []byte // decrypted bytes not yet returned by Read
+	frameBuf []byte
+	rerr     error
+
+	writeMu sync.Mutex
+	wSealer *sealer
+	wGen    uint32
+	werr    error
+
+	closeOnce sync.Once
+
+	rekeyStop chan struct{}
+
+	// Stats
+	statMu   sync.Mutex
+	bytesIn  uint64
+	bytesOut uint64
+	rekeys   uint64
+}
+
+// Client performs the initiating side of the handshake over conn. On
+// handshake failure the raw connection is closed: a half-established
+// channel is useless and closing it promptly unblocks the peer.
+func Client(conn net.Conn, cfg *Config) (*Conn, error) {
+	restore, err := handshakeDeadline(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c, err := clientHandshake(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	restore()
+	return c, nil
+}
+
+// handshakeDeadline arms the handshake timeout and returns the
+// function that clears it after success.
+func handshakeDeadline(conn net.Conn, cfg *Config) (func(), error) {
+	timeout := cfg.HandshakeTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	if timeout < 0 {
+		return func() {}, nil
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	return func() { conn.SetDeadline(time.Time{}) }, nil
+}
+
+func clientHandshake(conn net.Conn, cfg *Config) (*Conn, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+
+	hs := &handshakeState{transcript: &transcript{}}
+	if _, err := rand.Read(hs.clientRand[:]); err != nil {
+		return nil, err
+	}
+	ek, err := newECDH()
+	if err != nil {
+		return nil, err
+	}
+	hs.ecdhKey = ek
+
+	ch := &hello{Version: protocolVersion, Random: hs.clientRand, Suites: cfg.suites(), Chain: rawChain(cfg), ECDHPub: ek.PublicKey().Bytes()}
+	raw, err := writeHandshakeMsg(conn, ch)
+	if err != nil {
+		return nil, fmt.Errorf("securechan: send client hello: %w", err)
+	}
+	hs.transcript.add(raw)
+
+	var sh hello
+	raw, err = readHandshakeMsg(conn, &sh)
+	if err != nil {
+		return nil, fmt.Errorf("securechan: read server hello: %w", err)
+	}
+	if sh.Version != protocolVersion {
+		return nil, fmt.Errorf("securechan: server speaks version %d", sh.Version)
+	}
+	if len(sh.Suites) != 1 {
+		return nil, errors.New("securechan: server hello must select exactly one suite")
+	}
+	hs.suite = sh.Suites[0]
+	if !offered(cfg.suites(), hs.suite) {
+		return nil, fmt.Errorf("securechan: server chose unoffered suite %v", hs.suite)
+	}
+	hs.serverRand = sh.Random
+
+	// Verify the server's identity and its signature over the
+	// transcript-so-far plus its own hello (minus the signature field).
+	peerChain, peerDN, err := verifyPeerChain(cfg, sh.Chain)
+	if err != nil {
+		return nil, err
+	}
+	sigless := sh
+	sigless.Sig = nil
+	unsignedRaw, err := marshalHello(&sigless)
+	if err != nil {
+		return nil, err
+	}
+	hs.transcript.add(unsignedRaw)
+	if err := verifySig(peerChain[0], hs.transcript, sh.Sig); err != nil {
+		return nil, err
+	}
+	hs.transcript.add(raw) // the signed form enters the transcript too
+	hs.peerChain, hs.peerDN = peerChain, peerDN
+
+	peerPub, err := ecdh.P256().NewPublicKey(sh.ECDHPub)
+	if err != nil {
+		return nil, fmt.Errorf("securechan: server ECDH key: %w", err)
+	}
+	shared, err := ek.ECDH(peerPub)
+	if err != nil {
+		return nil, err
+	}
+	hs.deriveMaster(shared)
+
+	// Client finished: prove key possession and bind the transcript.
+	sig, err := sign(cfg.Credential, hs.transcript)
+	if err != nil {
+		return nil, err
+	}
+	cf := &finished{Sig: sig, MAC: hs.finishedMAC("client finished")}
+	raw, err = writeHandshakeMsg(conn, cf)
+	if err != nil {
+		return nil, err
+	}
+	hs.transcript.add(raw)
+
+	var sf finished
+	if _, err := readHandshakeMsg(conn, &sf); err != nil {
+		return nil, fmt.Errorf("securechan: read server finished: %w", err)
+	}
+	if !hmac.Equal(sf.MAC, hs.finishedMAC("server finished")) {
+		return nil, ErrBadFinished
+	}
+
+	c, err := newConn(conn, hs, true)
+	if err == nil {
+		c.meter = cfg.Meter
+	}
+	return c, err
+}
+
+// Server performs the accepting side of the handshake over conn. On
+// handshake failure the raw connection is closed.
+func Server(conn net.Conn, cfg *Config) (*Conn, error) {
+	restore, err := handshakeDeadline(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c, err := serverHandshake(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	restore()
+	return c, nil
+}
+
+func serverHandshake(conn net.Conn, cfg *Config) (*Conn, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	hs := &handshakeState{transcript: &transcript{}}
+	if _, err := rand.Read(hs.serverRand[:]); err != nil {
+		return nil, err
+	}
+
+	var ch hello
+	raw, err := readHandshakeMsg(conn, &ch)
+	if err != nil {
+		return nil, fmt.Errorf("securechan: read client hello: %w", err)
+	}
+	if ch.Version != protocolVersion {
+		return nil, fmt.Errorf("securechan: client speaks version %d", ch.Version)
+	}
+	hs.transcript.add(raw)
+	hs.clientRand = ch.Random
+
+	suite, err := chooseSuite(cfg.suites(), ch.Suites)
+	if err != nil {
+		return nil, err
+	}
+	hs.suite = suite
+
+	peerChain, peerDN, err := verifyPeerChain(cfg, ch.Chain)
+	if err != nil {
+		return nil, err
+	}
+	hs.peerChain, hs.peerDN = peerChain, peerDN
+
+	ek, err := newECDH()
+	if err != nil {
+		return nil, err
+	}
+	hs.ecdhKey = ek
+	peerPub, err := ecdh.P256().NewPublicKey(ch.ECDHPub)
+	if err != nil {
+		return nil, fmt.Errorf("securechan: client ECDH key: %w", err)
+	}
+	shared, err := ek.ECDH(peerPub)
+	if err != nil {
+		return nil, err
+	}
+
+	sh := &hello{Version: protocolVersion, Random: hs.serverRand, Suites: []Suite{suite}, Chain: rawChain(cfg), ECDHPub: ek.PublicKey().Bytes()}
+	unsignedRaw, err := marshalHello(sh)
+	if err != nil {
+		return nil, err
+	}
+	hs.transcript.add(unsignedRaw)
+	sh.Sig, err = sign(cfg.Credential, hs.transcript)
+	if err != nil {
+		return nil, err
+	}
+	raw, err = writeHandshakeMsg(conn, sh)
+	if err != nil {
+		return nil, err
+	}
+	hs.transcript.add(raw)
+
+	hs.deriveMaster(shared)
+
+	var cf finished
+	raw, err = readHandshakeMsg(conn, &cf)
+	if err != nil {
+		return nil, fmt.Errorf("securechan: read client finished: %w", err)
+	}
+	// The client signed the transcript before its finished message.
+	if err := verifySig(peerChain[0], hs.transcript, cf.Sig); err != nil {
+		return nil, err
+	}
+	if !hmac.Equal(cf.MAC, hs.finishedMAC("client finished")) {
+		return nil, ErrBadFinished
+	}
+	hs.transcript.add(raw)
+
+	sf := &finished{MAC: hs.finishedMAC("server finished")}
+	if _, err := writeHandshakeMsg(conn, sf); err != nil {
+		return nil, err
+	}
+
+	c, err := newConn(conn, hs, false)
+	if err == nil {
+		c.meter = cfg.Meter
+	}
+	return c, err
+}
+
+func rawChain(cfg *Config) [][]byte {
+	out := make([][]byte, len(cfg.Credential.Chain))
+	for i, c := range cfg.Credential.Chain {
+		out[i] = c.Raw
+	}
+	return out
+}
+
+func marshalHello(h *hello) ([]byte, error) { return xdr.Marshal(h) }
+
+func offered(suites []Suite, s Suite) bool {
+	for _, o := range suites {
+		if o == s {
+			return true
+		}
+	}
+	return false
+}
+
+func newConn(raw net.Conn, hs *handshakeState, client bool) (*Conn, error) {
+	c := &Conn{
+		raw:       raw,
+		suite:     hs.suite,
+		master:    hs.master,
+		hs:        hs,
+		client:    client,
+		peerChain: hs.peerChain,
+		peerDN:    hs.peerDN,
+		rekeyStop: make(chan struct{}),
+	}
+	var err error
+	encW, macW := hs.directionKeys(client, 0)
+	if c.wSealer, err = newSealer(hs.suite, encW, macW); err != nil {
+		return nil, err
+	}
+	encR, macR := hs.directionKeys(!client, 0)
+	if c.rSealer, err = newSealer(hs.suite, encR, macR); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// PeerDN returns the peer's effective grid identity (the identity
+// certificate's DN even when a proxy certificate was presented).
+func (c *Conn) PeerDN() string { return c.peerDN }
+
+// PeerChain returns the peer's verified certificate chain, leaf first.
+func (c *Conn) PeerChain() []*x509.Certificate { return c.peerChain }
+
+// Suite returns the negotiated cipher suite.
+func (c *Conn) Suite() Suite { return c.suite }
+
+// Generations returns the current write and read key generations; they
+// advance on rekey.
+func (c *Conn) Generations() (write, read uint32) {
+	c.writeMu.Lock()
+	write = c.wGen
+	c.writeMu.Unlock()
+	c.readMu.Lock()
+	read = c.rGen
+	c.readMu.Unlock()
+	return
+}
+
+// Stats returns cumulative plaintext byte counts and rekey count.
+func (c *Conn) Stats() (in, out, rekeys uint64) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.bytesIn, c.bytesOut, c.rekeys
+}
+
+// Write encrypts and sends p, splitting into records as needed.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.werr != nil {
+		return 0, c.werr
+	}
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxRecordPlaintext {
+			n = maxRecordPlaintext
+		}
+		sealStart := time.Now()
+		rec, err := c.wSealer.seal(recData, p[:n])
+		if c.meter != nil {
+			c.meter.Add(time.Since(sealStart))
+		}
+		if err != nil {
+			c.werr = err
+			return total, err
+		}
+		if err := writeFrame(c.raw, recData, rec); err != nil {
+			c.werr = err
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	c.statMu.Lock()
+	c.bytesOut += uint64(total)
+	c.statMu.Unlock()
+	return total, nil
+}
+
+// Read returns decrypted stream bytes.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	for len(c.rbuf) == 0 {
+		if c.rerr != nil {
+			return 0, c.rerr
+		}
+		typ, body, err := readFrame(c.raw, c.frameBuf)
+		if err != nil {
+			c.rerr = err
+			return 0, err
+		}
+		c.frameBuf = body[:0]
+		switch typ {
+		case recData:
+			openStart := time.Now()
+			pt, err := c.rSealer.open(recData, body)
+			if c.meter != nil {
+				c.meter.Add(time.Since(openStart))
+			}
+			if err != nil {
+				c.rerr = err
+				return 0, err
+			}
+			c.rbuf = pt
+			c.statMu.Lock()
+			c.bytesIn += uint64(len(pt))
+			c.statMu.Unlock()
+		case recRekey:
+			if _, err := c.rSealer.open(recRekey, body); err != nil {
+				c.rerr = err
+				return 0, err
+			}
+			// The peer's write direction advances one generation.
+			c.rGen++
+			encR, macR := c.hs.directionKeys(!c.client, c.rGen)
+			s, err := newSealer(c.suite, encR, macR)
+			if err != nil {
+				c.rerr = err
+				return 0, err
+			}
+			c.rSealer = s
+		case recClose:
+			c.rerr = io.EOF
+			return 0, io.EOF
+		default:
+			c.rerr = fmt.Errorf("securechan: unexpected record type %d", typ)
+			return 0, c.rerr
+		}
+	}
+	n := copy(p, c.rbuf)
+	c.rbuf = c.rbuf[n:]
+	return n, nil
+}
+
+// Rekey advances this side's write keys to the next generation,
+// refreshing the session keying material without a new handshake. The
+// peer switches its read keys upon receiving the rekey record, so no
+// round trip or traffic pause is needed. The paper's proxies trigger
+// this periodically for long-lived sessions (§4.2).
+func (c *Conn) Rekey() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
+	rec, err := c.wSealer.seal(recRekey, nil)
+	if err != nil {
+		c.werr = err
+		return err
+	}
+	if err := writeFrame(c.raw, recRekey, rec); err != nil {
+		c.werr = err
+		return err
+	}
+	c.wGen++
+	encW, macW := c.hs.directionKeys(c.client, c.wGen)
+	s, err := newSealer(c.suite, encW, macW)
+	if err != nil {
+		c.werr = err
+		return err
+	}
+	c.wSealer = s
+	c.statMu.Lock()
+	c.rekeys++
+	c.statMu.Unlock()
+	return nil
+}
+
+// StartAutoRekey launches a background goroutine that rekeys the write
+// direction every interval until the channel closes, implementing the
+// configuration-file timeout for periodic automatic renegotiation.
+func (c *Conn) StartAutoRekey(interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := c.Rekey(); err != nil {
+					return
+				}
+			case <-c.rekeyStop:
+				return
+			}
+		}
+	}()
+}
+
+// Close sends a close record (best effort) and tears down the
+// transport.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.rekeyStop)
+		c.writeMu.Lock()
+		if c.werr == nil {
+			// Best-effort close notification: bound the write so a
+			// peer that has stopped reading cannot block Close.
+			if rec, err := c.wSealer.seal(recClose, nil); err == nil {
+				c.raw.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+				writeFrame(c.raw, recClose, rec)
+				c.raw.SetWriteDeadline(time.Time{})
+			}
+			c.werr = ErrChannelClosed
+		}
+		c.writeMu.Unlock()
+		c.raw.Close()
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.raw.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }

@@ -1,0 +1,95 @@
+package securechan
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestServerHandshakeRobustAgainstGarbage confirms a hostile peer
+// sending random bytes cannot crash or wedge the accepting side.
+func TestServerHandshakeRobustAgainstGarbage(t *testing.T) {
+	pki := newPKI(t)
+	cfg := &Config{Credential: pki.server, Roots: pki.ca.Pool(), HandshakeTimeout: 300 * time.Millisecond}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 8; i++ {
+		a, b := net.Pipe()
+		go func() {
+			junk := make([]byte, rng.Intn(256)+1)
+			rng.Read(junk)
+			a.Write(junk)
+			a.Close()
+		}()
+		done := make(chan error, 1)
+		go func() {
+			_, err := Server(b, cfg)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("garbage handshake succeeded")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("handshake hung on garbage")
+		}
+	}
+}
+
+// TestClientHandshakeRobustAgainstGarbage does the same for the
+// initiating side (a hostile or broken server).
+func TestClientHandshakeRobustAgainstGarbage(t *testing.T) {
+	pki := newPKI(t)
+	cfg := &Config{Credential: pki.client, Roots: pki.ca.Pool(), HandshakeTimeout: 300 * time.Millisecond}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 8; i++ {
+		a, b := net.Pipe()
+		go func() {
+			// Swallow the client hello then answer with noise.
+			buf := make([]byte, 4096)
+			b.Read(buf)
+			junk := make([]byte, rng.Intn(256)+1)
+			rng.Read(junk)
+			b.Write(junk)
+			b.Close()
+		}()
+		done := make(chan error, 1)
+		go func() {
+			_, err := Client(a, cfg)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("client accepted a garbage handshake")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("client hung on garbage server")
+		}
+	}
+}
+
+// TestCryptoMeterAccounts verifies the Figures 5/6 hook: a metered
+// channel accumulates seal/open time on both endpoints.
+func TestCryptoMeterAccounts(t *testing.T) {
+	pki := newPKI(t)
+	var cm, sm metrics.Meter
+	ccfg := &Config{Credential: pki.client, Roots: pki.ca.Pool(), Suites: []Suite{SuiteAES256SHA1}, Meter: &cm}
+	scfg := &Config{Credential: pki.server, Roots: pki.ca.Pool(), Suites: []Suite{SuiteAES256SHA1}, Meter: &sm}
+	cc, sc := handshakePair(t, pki, ccfg, scfg)
+	payload := make([]byte, 256*1024)
+	go cc.Write(payload)
+	if _, err := io.ReadFull(sc, make([]byte, len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if cm.Busy() == 0 {
+		t.Fatal("client meter recorded no seal time")
+	}
+	if sm.Busy() == 0 {
+		t.Fatal("server meter recorded no open time")
+	}
+}

@@ -1,0 +1,461 @@
+package securechan
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/gridsec"
+)
+
+type testPKI struct {
+	ca     *gridsec.CA
+	client *gridsec.Credential
+	server *gridsec.Credential
+}
+
+func newPKI(t *testing.T) *testPKI {
+	t.Helper()
+	ca, err := gridsec.NewCA("ChanTest Grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ca.IssueUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := ca.IssueHost("fs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testPKI{ca: ca, client: client, server: server}
+}
+
+// handshakePair establishes a channel over an in-memory pipe.
+func handshakePair(t *testing.T, pki *testPKI, ccfg, scfg *Config) (*Conn, *Conn) {
+	t.Helper()
+	cc, sc, cerr, serr := tryHandshake(pki, ccfg, scfg)
+	if cerr != nil {
+		t.Fatalf("client handshake: %v", cerr)
+	}
+	if serr != nil {
+		t.Fatalf("server handshake: %v", serr)
+	}
+	t.Cleanup(func() { cc.Close(); sc.Close() })
+	return cc, sc
+}
+
+func tryHandshake(pki *testPKI, ccfg, scfg *Config) (*Conn, *Conn, error, error) {
+	if ccfg == nil {
+		ccfg = &Config{Credential: pki.client, Roots: pki.ca.Pool()}
+	}
+	if scfg == nil {
+		scfg = &Config{Credential: pki.server, Roots: pki.ca.Pool()}
+	}
+	a, b := net.Pipe()
+	type res struct {
+		c   *Conn
+		err error
+	}
+	sch := make(chan res, 1)
+	go func() {
+		c, err := Server(b, scfg)
+		sch <- res{c, err}
+	}()
+	cc, cerr := Client(a, ccfg)
+	sres := <-sch
+	return cc, sres.c, cerr, sres.err
+}
+
+func TestHandshakeAllSuites(t *testing.T) {
+	pki := newPKI(t)
+	for _, suite := range []Suite{SuiteNullSHA1, SuiteRC4SHA1, SuiteAES256SHA1} {
+		t.Run(suite.String(), func(t *testing.T) {
+			ccfg := &Config{Credential: pki.client, Roots: pki.ca.Pool(), Suites: []Suite{suite}}
+			scfg := &Config{Credential: pki.server, Roots: pki.ca.Pool(), Suites: []Suite{suite}}
+			cc, sc := handshakePair(t, pki, ccfg, scfg)
+			if cc.Suite() != suite || sc.Suite() != suite {
+				t.Fatalf("negotiated %v / %v, want %v", cc.Suite(), sc.Suite(), suite)
+			}
+			if cc.PeerDN() != pki.server.DN() {
+				t.Fatalf("client saw peer %q", cc.PeerDN())
+			}
+			if sc.PeerDN() != pki.client.DN() {
+				t.Fatalf("server saw peer %q", sc.PeerDN())
+			}
+			msg := []byte("sensitive grid data crossing domains")
+			go cc.Write(msg)
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(sc, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatal("payload corrupted")
+			}
+			// And the reverse direction.
+			go sc.Write([]byte("reply"))
+			rep := make([]byte, 5)
+			if _, err := io.ReadFull(cc, rep); err != nil {
+				t.Fatal(err)
+			}
+			if string(rep) != "reply" {
+				t.Fatalf("got %q", rep)
+			}
+		})
+	}
+}
+
+func TestServerPreferenceWins(t *testing.T) {
+	pki := newPKI(t)
+	ccfg := &Config{Credential: pki.client, Roots: pki.ca.Pool(),
+		Suites: []Suite{SuiteNullSHA1, SuiteAES256SHA1}}
+	scfg := &Config{Credential: pki.server, Roots: pki.ca.Pool(),
+		Suites: []Suite{SuiteAES256SHA1, SuiteNullSHA1}}
+	cc, _ := handshakePair(t, pki, ccfg, scfg)
+	if cc.Suite() != SuiteAES256SHA1 {
+		t.Fatalf("negotiated %v, want server preference aes", cc.Suite())
+	}
+}
+
+func TestNoCommonSuite(t *testing.T) {
+	pki := newPKI(t)
+	ccfg := &Config{Credential: pki.client, Roots: pki.ca.Pool(), Suites: []Suite{SuiteNullSHA1}}
+	scfg := &Config{Credential: pki.server, Roots: pki.ca.Pool(), Suites: []Suite{SuiteAES256SHA1}}
+	_, _, _, serr := tryHandshake(pki, ccfg, scfg)
+	if !errors.Is(serr, ErrNoCommonSuite) {
+		t.Fatalf("server error %v, want ErrNoCommonSuite", serr)
+	}
+}
+
+func TestUntrustedClientRejected(t *testing.T) {
+	pki := newPKI(t)
+	rogue, _ := gridsec.NewCA("Rogue CA")
+	mallory, _ := rogue.IssueUser("mallory")
+	ccfg := &Config{Credential: mallory, Roots: pki.ca.Pool()}
+	_, _, _, serr := tryHandshake(pki, ccfg, nil)
+	if !errors.Is(serr, gridsec.ErrNotTrusted) {
+		t.Fatalf("server error %v, want ErrNotTrusted", serr)
+	}
+}
+
+func TestUntrustedServerRejected(t *testing.T) {
+	pki := newPKI(t)
+	rogue, _ := gridsec.NewCA("Rogue CA")
+	fake, _ := rogue.IssueHost("fs1")
+	scfg := &Config{Credential: fake, Roots: pki.ca.Pool()}
+	_, _, cerr, _ := tryHandshake(pki, nil, scfg)
+	if !errors.Is(cerr, gridsec.ErrNotTrusted) {
+		t.Fatalf("client error %v, want ErrNotTrusted", cerr)
+	}
+}
+
+func TestProxyCertificateAuthenticatesAsUser(t *testing.T) {
+	pki := newPKI(t)
+	proxy, err := pki.client.IssueProxy(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := &Config{Credential: proxy, Roots: pki.ca.Pool()}
+	_, sc := handshakePair(t, pki, ccfg, nil)
+	if sc.PeerDN() != pki.client.DN() {
+		t.Fatalf("proxy session authenticated as %q, want %q", sc.PeerDN(), pki.client.DN())
+	}
+}
+
+func TestVerifyPeerPolicyHook(t *testing.T) {
+	pki := newPKI(t)
+	scfg := &Config{Credential: pki.server, Roots: pki.ca.Pool(),
+		VerifyPeer: func(dn string, _ []*x509.Certificate) error {
+			return fmt.Errorf("DN %q not in gridmap", dn)
+		}}
+	_, _, _, serr := tryHandshake(pki, nil, scfg)
+	if !errors.Is(serr, ErrPeerRejected) {
+		t.Fatalf("got %v, want ErrPeerRejected", serr)
+	}
+}
+
+func TestLargeTransfer(t *testing.T) {
+	pki := newPKI(t)
+	ccfg := &Config{Credential: pki.client, Roots: pki.ca.Pool(), Suites: []Suite{SuiteAES256SHA1}}
+	cc, sc := handshakePair(t, pki, ccfg, nil)
+	payload := make([]byte, 300*1024) // spans many records
+	rand.Read(payload)
+	go func() {
+		cc.Write(payload)
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(sc, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestRekeyMidStream(t *testing.T) {
+	pki := newPKI(t)
+	cc, sc := handshakePair(t, pki, nil, nil)
+	done := make(chan error, 1)
+	go func() {
+		if _, err := cc.Write([]byte("before")); err != nil {
+			done <- err
+			return
+		}
+		if err := cc.Rekey(); err != nil {
+			done <- err
+			return
+		}
+		_, err := cc.Write([]byte("after-rekey"))
+		done <- err
+	}()
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(sc, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf2 := make([]byte, 11)
+	if _, err := io.ReadFull(sc, buf2); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "before" || string(buf2) != "after-rekey" {
+		t.Fatalf("got %q / %q", buf, buf2)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	w, _ := cc.Generations()
+	if w != 1 {
+		t.Fatalf("client write generation %d, want 1", w)
+	}
+	_, r := sc.Generations()
+	if r != 1 {
+		t.Fatalf("server read generation %d, want 1", r)
+	}
+	_, _, rekeys := cc.Stats()
+	if rekeys != 1 {
+		t.Fatalf("rekeys %d", rekeys)
+	}
+}
+
+func TestMultipleRekeys(t *testing.T) {
+	pki := newPKI(t)
+	cc, sc := handshakePair(t, pki, nil, nil)
+	go func() {
+		for i := 0; i < 5; i++ {
+			cc.Write([]byte{byte(i)})
+			cc.Rekey()
+		}
+		cc.Write([]byte{99})
+	}()
+	got := make([]byte, 6)
+	if _, err := io.ReadFull(sc, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 1, 2, 3, 4, 99}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTamperedRecordDetected(t *testing.T) {
+	pki := newPKI(t)
+	// A hostile frame-aware relay sits between client and server. It
+	// passes handshake frames untouched and flips one ciphertext bit in
+	// the first data record; the reader must detect the forgery.
+	a, b := net.Pipe()         // server side: a
+	mitmA, mitmB := net.Pipe() // client side: mitmA
+	go func() {
+		var hdr [5]byte
+		for {
+			if _, err := io.ReadFull(mitmB, hdr[:]); err != nil {
+				return
+			}
+			n := int(hdr[1])<<24 | int(hdr[2])<<16 | int(hdr[3])<<8 | int(hdr[4])
+			body := make([]byte, n)
+			if _, err := io.ReadFull(mitmB, body); err != nil {
+				return
+			}
+			if hdr[0] == recData && n > 0 {
+				body[n/2] ^= 0x40
+			}
+			if _, err := b.Write(hdr[:]); err != nil {
+				return
+			}
+			if _, err := b.Write(body); err != nil {
+				return
+			}
+		}
+	}()
+	go io.Copy(mitmB, b) // server -> client direction passes through
+
+	type res struct {
+		c   *Conn
+		err error
+	}
+	sch := make(chan res, 1)
+	go func() {
+		c, err := Server(a, &Config{Credential: pki.server, Roots: pki.ca.Pool()})
+		sch <- res{c, err}
+	}()
+	cc, err := Client(mitmA, &Config{Credential: pki.client, Roots: pki.ca.Pool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres := <-sch
+	if sres.err != nil {
+		t.Fatal(sres.err)
+	}
+	defer cc.Close()
+	defer sres.c.Close()
+
+	go cc.Write(bytes.Repeat([]byte("x"), 512))
+	buf := make([]byte, 1024)
+	_, readErr := sres.c.Read(buf)
+	if !errors.Is(readErr, ErrRecordMAC) {
+		t.Fatalf("tampering produced %v, want ErrRecordMAC", readErr)
+	}
+}
+
+func TestCloseDeliversEOF(t *testing.T) {
+	pki := newPKI(t)
+	cc, sc := handshakePair(t, pki, nil, nil)
+	go cc.Close()
+	buf := make([]byte, 8)
+	_, err := sc.Read(buf)
+	if err != io.EOF {
+		t.Fatalf("got %v, want EOF", err)
+	}
+}
+
+func TestNullSuiteLeavesPlaintextVisible(t *testing.T) {
+	// sgfs-sha trades privacy for speed: the wire carries plaintext.
+	// This test documents that property (integrity is still enforced).
+	s, err := newSealer(SuiteNullSHA1, nil, make([]byte, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.seal(recData, []byte("visible"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(rec, []byte("visible")) {
+		t.Fatal("null suite should not hide plaintext")
+	}
+}
+
+func TestAESSuiteHidesPlaintext(t *testing.T) {
+	key := make([]byte, 32)
+	rand.Read(key)
+	s, err := newSealer(SuiteAES256SHA1, key, make([]byte, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.seal(recData, []byte("secret-seismic-survey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(rec, []byte("secret")) {
+		t.Fatal("AES suite leaked plaintext")
+	}
+}
+
+func TestSealerReplayRejected(t *testing.T) {
+	// Replaying a record fails because the MAC covers the sequence
+	// number.
+	key := make([]byte, 32)
+	mkey := make([]byte, 20)
+	rand.Read(key)
+	rand.Read(mkey)
+	enc, _ := newSealer(SuiteAES256SHA1, key, mkey)
+	dec, _ := newSealer(SuiteAES256SHA1, key, mkey)
+	r1, _ := enc.seal(recData, []byte("one"))
+	if _, err := dec.open(recData, r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.open(recData, r1); !errors.Is(err, ErrRecordMAC) {
+		t.Fatalf("replay accepted: %v", err)
+	}
+}
+
+func TestQuickSealOpenRoundTrip(t *testing.T) {
+	for _, suite := range []Suite{SuiteNullSHA1, SuiteRC4SHA1, SuiteAES256SHA1} {
+		suite := suite
+		t.Run(suite.String(), func(t *testing.T) {
+			encKey := make([]byte, suite.keyLen())
+			macKey := make([]byte, 20)
+			rand.Read(encKey)
+			rand.Read(macKey)
+			enc, err := newSealer(suite, encKey, macKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := newSealer(suite, encKey, macKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(p []byte) bool {
+				rec, err := enc.seal(recData, p)
+				if err != nil {
+					return false
+				}
+				got, err := dec.open(recData, rec)
+				if err != nil {
+					return false
+				}
+				return bytes.Equal(got, p)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestParseSuite(t *testing.T) {
+	cases := map[string]Suite{
+		"aes": SuiteAES256SHA1, "rc4": SuiteRC4SHA1, "sha": SuiteNullSHA1,
+		"aes256cbc-sha1": SuiteAES256SHA1, "rc4128-sha1": SuiteRC4SHA1, "null-sha1": SuiteNullSHA1,
+	}
+	for name, want := range cases {
+		got, err := ParseSuite(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSuite(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseSuite("des"); err == nil {
+		t.Error("expected error for unknown suite")
+	}
+}
+
+func TestAutoRekey(t *testing.T) {
+	pki := newPKI(t)
+	cc, sc := handshakePair(t, pki, nil, nil)
+	cc.StartAutoRekey(10 * time.Millisecond)
+	deadline := time.After(2 * time.Second)
+	// Keep traffic flowing so the server processes rekey records.
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("no rekey observed within deadline")
+		default:
+		}
+		go cc.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(sc, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, rekeys := cc.Stats(); rekeys >= 2 {
+			_, r := sc.Generations()
+			if r < 2 {
+				t.Fatalf("server read generation %d after %d rekeys", r, rekeys)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,52 @@
+package services
+
+import (
+	"bytes"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/gridsec"
+	"repro/internal/soapmsg"
+)
+
+// Call sends a signed SOAP request to a service endpoint and returns
+// the verified response body with the responder's DN. A FaultResponse
+// body is converted into an error.
+func Call(url, action string, req any, cred *gridsec.Credential, roots *x509.CertPool, out any) (responderDN string, err error) {
+	body, err := soapmsg.MarshalBody(req)
+	if err != nil {
+		return "", err
+	}
+	env, err := soapmsg.Sign(action, body, cred)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(url, "application/soap+xml", bytes.NewReader(env))
+	if err != nil {
+		return "", fmt.Errorf("services: post %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("services: %s returned %s: %s", url, resp.Status, data)
+	}
+	_, resBody, dn, err := soapmsg.Verify(data, roots)
+	if err != nil {
+		return "", fmt.Errorf("services: verify response: %w", err)
+	}
+	var fault FaultResponse
+	if soapmsg.UnmarshalBody(resBody, &fault) == nil && fault.Reason != "" {
+		return dn, fmt.Errorf("services: fault from %s: %s", url, fault.Reason)
+	}
+	if out != nil {
+		if err := soapmsg.UnmarshalBody(resBody, out); err != nil {
+			return dn, fmt.Errorf("services: decode response: %w", err)
+		}
+	}
+	return dn, nil
+}

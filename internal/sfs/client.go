@@ -1,0 +1,494 @@
+package sfs
+
+import (
+	"container/list"
+	"context"
+	"crypto/x509"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/gridsec"
+	"repro/internal/metrics"
+	"repro/internal/mountd"
+	"repro/internal/nfs3"
+	"repro/internal/oncrpc"
+	"repro/internal/securechan"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// ClientConfig configures an SFS client daemon.
+type ClientConfig struct {
+	// ServerDial connects to the SFS server daemon.
+	ServerDial Dialer
+	// HostID is the expected server key fingerprint from the
+	// self-certifying pathname; the handshake fails if the server's
+	// key hashes differently.
+	HostID string
+	// Credential is the user's self-signed key.
+	Credential *gridsec.Credential
+	// ExportPath is the export to attach.
+	ExportPath string
+	// PipelineDepth is the number of read-ahead RPCs kept in flight
+	// (SFS's asynchronous RPC advantage). Default 4.
+	PipelineDepth int
+	// MemCacheBytes bounds the in-memory block cache. Default 16 MiB.
+	MemCacheBytes int64
+	// Meter, when non-nil, accumulates the daemon's processing time.
+	Meter *metrics.Meter
+}
+
+// Client is the SFS client daemon (the loop-back NFS server of SFS):
+// the local NFS client mounts it; it forwards over the secure channel
+// with aggressive attribute/access caching and pipelined readahead.
+type Client struct {
+	cfg  ClientConfig
+	rpc  *oncrpc.Server
+	up   *oncrpc.Client
+	root nfs3.FH3
+
+	// Aggressive in-memory caches, valid for the session.
+	mu     sync.Mutex
+	attrs  map[string]nfs3.Fattr3
+	access map[string]uint32
+	blocks map[blockKey][]byte
+	lru    *list.List // blockKey
+	lruIdx map[blockKey]*list.Element
+	used   int64
+
+	prefetchMu sync.Mutex
+	inflight   map[blockKey]bool
+	lastBlock  map[string]uint64
+}
+
+type blockKey struct {
+	fh  string
+	idx uint64
+}
+
+const sfsBlockSize = 32 * 1024
+
+// NewClient establishes the self-certified channel, mounts the export,
+// and returns a daemon ready to serve the local client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.PipelineDepth == 0 {
+		cfg.PipelineDepth = 4
+	}
+	if cfg.MemCacheBytes == 0 {
+		cfg.MemCacheBytes = 16 << 20
+	}
+	chanCfg := &securechan.Config{
+		Credential:     cfg.Credential,
+		Suites:         []securechan.Suite{securechan.SuiteRC4SHA1},
+		Meter:          cfg.Meter,
+		SelfCertifying: true,
+		VerifyPeer: func(_ string, chain []*x509.Certificate) error {
+			if got := gridsec.KeyFingerprint(chain[0]); got != cfg.HostID {
+				return fmt.Errorf("sfs: server key %s does not match pathname HostID %s", got[:12], cfg.HostID[:12])
+			}
+			return nil
+		},
+	}
+	dialSecure := func() (net.Conn, error) {
+		raw, err := cfg.ServerDial()
+		if err != nil {
+			return nil, err
+		}
+		return securechan.Client(raw, chanCfg)
+	}
+
+	mconn, err := dialSecure()
+	if err != nil {
+		return nil, err
+	}
+	mc := oncrpc.NewClient(mconn, mountd.Program, mountd.Version)
+	var mres mountd.MntRes
+	err = mc.Call(context.Background(), mountd.ProcMnt, &mountd.MntArgs{Path: cfg.ExportPath}, &mres)
+	mc.Close()
+	if err != nil {
+		return nil, err
+	}
+	if mres.Status != mountd.MntOK {
+		return nil, fmt.Errorf("sfs: mount refused: %w", vfs.Errno(mres.Status))
+	}
+
+	conn, err := dialSecure()
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:       cfg,
+		rpc:       oncrpc.NewServer(),
+		up:        oncrpc.NewClient(conn, nfs3.Program, nfs3.Version),
+		root:      mres.FH,
+		attrs:     make(map[string]nfs3.Fattr3),
+		access:    make(map[string]uint32),
+		blocks:    make(map[blockKey][]byte),
+		lru:       list.New(),
+		lruIdx:    make(map[blockKey]*list.Element),
+		inflight:  make(map[blockKey]bool),
+		lastBlock: make(map[string]uint64),
+	}
+	c.register()
+	return c, nil
+}
+
+// upCall issues an upstream RPC, crediting the wait back to the meter.
+func (c *Client) upCall(ctx context.Context, proc uint32, args xdr.Marshaler, res xdr.Unmarshaler) error {
+	if c.cfg.Meter == nil {
+		return c.up.Call(ctx, proc, args, res)
+	}
+	start := time.Now()
+	err := c.up.Call(ctx, proc, args, res)
+	c.cfg.Meter.Add(-time.Since(start))
+	return err
+}
+
+// Serve accepts local client connections.
+func (c *Client) Serve(l net.Listener) error { return c.rpc.Serve(l) }
+
+// Close shuts the daemon down.
+func (c *Client) Close() {
+	c.rpc.Close()
+	c.up.Close()
+}
+
+func (c *Client) putBlock(k blockKey, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.blocks[k]; ok {
+		return
+	}
+	c.blocks[k] = data
+	c.lruIdx[k] = c.lru.PushFront(k)
+	c.used += int64(len(data))
+	for c.used > c.cfg.MemCacheBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(blockKey)
+		c.used -= int64(len(c.blocks[victim]))
+		delete(c.blocks, victim)
+		delete(c.lruIdx, victim)
+		c.lru.Remove(back)
+	}
+}
+
+func (c *Client) getBlock(k blockKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.blocks[k]
+	if ok {
+		c.lru.MoveToFront(c.lruIdx[k])
+	}
+	return data, ok
+}
+
+func (c *Client) dropFile(fh nfs3.FH3) {
+	key := string(fh.Data)
+	c.mu.Lock()
+	for k := range c.blocks {
+		if k.fh == key {
+			c.used -= int64(len(c.blocks[k]))
+			delete(c.blocks, k)
+			if e := c.lruIdx[k]; e != nil {
+				c.lru.Remove(e)
+			}
+			delete(c.lruIdx, k)
+		}
+	}
+	delete(c.attrs, key)
+	delete(c.access, key)
+	c.mu.Unlock()
+}
+
+func (c *Client) register() {
+	c.rpc.Register(mountd.Program, mountd.Version, map[uint32]oncrpc.Handler{
+		mountd.ProcMnt: func(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+			var a mountd.MntArgs
+			if call.DecodeArgs(&a) != nil {
+				return nil, oncrpc.GarbageArgs
+			}
+			return &mountd.MntRes{Status: mountd.MntOK, FH: c.root, Flavors: []uint32{oncrpc.AuthFlavorSys}}, oncrpc.Success
+		},
+	})
+	fwd := func(proc uint32, newArgs func() wire, newRes func() wire) oncrpc.Handler {
+		return func(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+			a := newArgs()
+			if call.DecodeArgs(a) != nil {
+				return nil, oncrpc.GarbageArgs
+			}
+			res := newRes()
+			if err := c.upCall(ctx, proc, a, res); err != nil {
+				return nil, oncrpc.SystemErr
+			}
+			return res, oncrpc.Success
+		}
+	}
+	h := map[uint32]oncrpc.Handler{
+		nfs3.ProcGetAttr:     c.getattr,
+		nfs3.ProcSetAttr:     c.setattr,
+		nfs3.ProcLookup:      c.lookup,
+		nfs3.ProcAccess:      c.accessProc,
+		nfs3.ProcReadLink:    fwd(nfs3.ProcReadLink, func() wire { return &nfs3.ReadLinkArgs{} }, func() wire { return &nfs3.ReadLinkRes{} }),
+		nfs3.ProcRead:        c.read,
+		nfs3.ProcWrite:       c.write,
+		nfs3.ProcCreate:      c.create,
+		nfs3.ProcMkdir:       fwd(nfs3.ProcMkdir, func() wire { return &nfs3.MkdirArgs{} }, func() wire { return &nfs3.CreateRes{} }),
+		nfs3.ProcSymlink:     fwd(nfs3.ProcSymlink, func() wire { return &nfs3.SymlinkArgs{} }, func() wire { return &nfs3.CreateRes{} }),
+		nfs3.ProcRemove:      c.remove,
+		nfs3.ProcRmdir:       fwd(nfs3.ProcRmdir, func() wire { return &nfs3.RemoveArgs{} }, func() wire { return &nfs3.WccRes{} }),
+		nfs3.ProcRename:      fwd(nfs3.ProcRename, func() wire { return &nfs3.RenameArgs{} }, func() wire { return &nfs3.RenameRes{} }),
+		nfs3.ProcLink:        fwd(nfs3.ProcLink, func() wire { return &nfs3.LinkArgs{} }, func() wire { return &nfs3.LinkRes{} }),
+		nfs3.ProcReadDir:     fwd(nfs3.ProcReadDir, func() wire { return &nfs3.ReadDirArgs{} }, func() wire { return &nfs3.ReadDirRes{} }),
+		nfs3.ProcReadDirPlus: fwd(nfs3.ProcReadDirPlus, func() wire { return &nfs3.ReadDirPlusArgs{} }, func() wire { return &nfs3.ReadDirPlusRes{} }),
+		nfs3.ProcFSStat:      fwd(nfs3.ProcFSStat, func() wire { return &nfs3.FSStatArgs{} }, func() wire { return &nfs3.FSStatRes{} }),
+		nfs3.ProcFSInfo:      fwd(nfs3.ProcFSInfo, func() wire { return &nfs3.FSStatArgs{} }, func() wire { return &nfs3.FSInfoRes{} }),
+		nfs3.ProcPathConf:    fwd(nfs3.ProcPathConf, func() wire { return &nfs3.FSStatArgs{} }, func() wire { return &nfs3.PathConfRes{} }),
+		nfs3.ProcCommit:      fwd(nfs3.ProcCommit, func() wire { return &nfs3.CommitArgs{} }, func() wire { return &nfs3.CommitRes{} }),
+	}
+	if c.cfg.Meter != nil {
+		for k, fn := range h {
+			fn := fn
+			h[k] = func(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+				start := time.Now()
+				res, stat := fn(ctx, call)
+				c.cfg.Meter.Add(time.Since(start))
+				return res, stat
+			}
+		}
+	}
+	c.rpc.Register(nfs3.Program, nfs3.Version, h)
+}
+
+func (c *Client) getattr(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.GetAttrArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	c.mu.Lock()
+	attr, ok := c.attrs[string(a.Obj.Data)]
+	c.mu.Unlock()
+	if ok {
+		return &nfs3.GetAttrRes{Status: nfs3.OK, Attr: attr}, oncrpc.Success
+	}
+	var res nfs3.GetAttrRes
+	if err := c.upCall(ctx, nfs3.ProcGetAttr, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	if res.Status == nfs3.OK {
+		c.mu.Lock()
+		c.attrs[string(a.Obj.Data)] = res.Attr
+		c.mu.Unlock()
+	}
+	return &res, oncrpc.Success
+}
+
+func (c *Client) lookup(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.LookupArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	var res nfs3.LookupRes
+	if err := c.upCall(ctx, nfs3.ProcLookup, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	if res.Status == nfs3.OK && res.Attr.Present {
+		c.mu.Lock()
+		c.attrs[string(res.Obj.Data)] = res.Attr.Attr
+		c.mu.Unlock()
+	}
+	return &res, oncrpc.Success
+}
+
+func (c *Client) accessProc(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.AccessArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	c.mu.Lock()
+	granted, ok := c.access[string(a.Obj.Data)]
+	c.mu.Unlock()
+	if ok {
+		return &nfs3.AccessRes{Status: nfs3.OK, Access: granted & a.Access}, oncrpc.Success
+	}
+	full := a
+	full.Access = 0x3f
+	var res nfs3.AccessRes
+	if err := c.upCall(ctx, nfs3.ProcAccess, &full, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	if res.Status == nfs3.OK {
+		c.mu.Lock()
+		c.access[string(a.Obj.Data)] = res.Access
+		c.mu.Unlock()
+	}
+	res.Access &= a.Access
+	return &res, oncrpc.Success
+}
+
+func (c *Client) setattr(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.SetAttrArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	c.dropFile(a.Obj)
+	var res nfs3.WccRes
+	if err := c.upCall(ctx, nfs3.ProcSetAttr, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	return &res, oncrpc.Success
+}
+
+func (c *Client) create(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.CreateArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	var res nfs3.CreateRes
+	if err := c.upCall(ctx, nfs3.ProcCreate, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	if res.Status == nfs3.OK && res.Obj.Present && res.Attr.Present {
+		c.mu.Lock()
+		c.attrs[string(res.Obj.FH.Data)] = res.Attr.Attr
+		c.mu.Unlock()
+	}
+	return &res, oncrpc.Success
+}
+
+func (c *Client) remove(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.RemoveArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	var res nfs3.WccRes
+	if err := c.upCall(ctx, nfs3.ProcRemove, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	return &res, oncrpc.Success
+}
+
+// read serves from the memory cache and pipelines readahead RPCs —
+// SFS's asynchronous-RPC advantage over the blocking SGFS prototype.
+func (c *Client) read(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.ReadArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	key := string(a.Obj.Data)
+	idx := a.Offset / sfsBlockSize
+	inner := a.Offset % sfsBlockSize
+
+	// Launch pipelined prefetches for sequential access.
+	c.prefetchMu.Lock()
+	sequential := c.lastBlock[key]+1 == idx || idx == 0
+	c.lastBlock[key] = idx
+	c.prefetchMu.Unlock()
+	if sequential {
+		for i := 1; i <= c.cfg.PipelineDepth; i++ {
+			c.prefetch(a.Obj, idx+uint64(i))
+		}
+	}
+
+	k := blockKey{key, idx}
+	block, ok := c.getBlock(k)
+	if !ok {
+		var res nfs3.ReadRes
+		args := &nfs3.ReadArgs{Obj: a.Obj, Offset: idx * sfsBlockSize, Count: sfsBlockSize}
+		if err := c.upCall(ctx, nfs3.ProcRead, args, &res); err != nil {
+			return nil, oncrpc.SystemErr
+		}
+		if res.Status != nfs3.OK {
+			return &res, oncrpc.Success
+		}
+		c.putBlock(k, res.Data)
+		block = res.Data
+	}
+
+	size := uint64(0)
+	c.mu.Lock()
+	if attr, ok := c.attrs[key]; ok {
+		size = attr.Size
+	}
+	c.mu.Unlock()
+	var out []byte
+	if inner < uint64(len(block)) {
+		end := inner + uint64(a.Count)
+		if end > uint64(len(block)) {
+			end = uint64(len(block))
+		}
+		out = append([]byte(nil), block[inner:end]...)
+	}
+	eof := a.Offset+uint64(len(out)) >= size
+	return &nfs3.ReadRes{Status: nfs3.OK, Count: uint32(len(out)), EOF: eof, Data: out}, oncrpc.Success
+}
+
+// prefetch asynchronously fetches a block into the memory cache.
+func (c *Client) prefetch(fh nfs3.FH3, idx uint64) {
+	k := blockKey{string(fh.Data), idx}
+	if _, ok := c.getBlock(k); ok {
+		return
+	}
+	c.prefetchMu.Lock()
+	if c.inflight[k] {
+		c.prefetchMu.Unlock()
+		return
+	}
+	c.inflight[k] = true
+	c.prefetchMu.Unlock()
+	go func() {
+		defer func() {
+			c.prefetchMu.Lock()
+			delete(c.inflight, k)
+			c.prefetchMu.Unlock()
+		}()
+		var res nfs3.ReadRes
+		args := &nfs3.ReadArgs{Obj: fh, Offset: idx * sfsBlockSize, Count: sfsBlockSize}
+		if err := c.up.Call(context.Background(), nfs3.ProcRead, args, &res); err != nil {
+			return
+		}
+		if res.Status == nfs3.OK && len(res.Data) > 0 {
+			c.putBlock(blockKey{string(fh.Data), idx}, res.Data)
+		}
+	}()
+}
+
+// write forwards writes (SFS does not do client write-back) and
+// updates cached state.
+func (c *Client) write(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+	var a nfs3.WriteArgs
+	if call.DecodeArgs(&a) != nil {
+		return nil, oncrpc.GarbageArgs
+	}
+	// Invalidate overlapping cached blocks.
+	first := a.Offset / sfsBlockSize
+	last := (a.Offset + uint64(len(a.Data))) / sfsBlockSize
+	key := string(a.Obj.Data)
+	c.mu.Lock()
+	for idx := first; idx <= last; idx++ {
+		k := blockKey{key, idx}
+		if b, ok := c.blocks[k]; ok {
+			c.used -= int64(len(b))
+			delete(c.blocks, k)
+			if e := c.lruIdx[k]; e != nil {
+				c.lru.Remove(e)
+			}
+			delete(c.lruIdx, k)
+		}
+	}
+	c.mu.Unlock()
+	var res nfs3.WriteRes
+	if err := c.upCall(ctx, nfs3.ProcWrite, &a, &res); err != nil {
+		return nil, oncrpc.SystemErr
+	}
+	if res.Status == nfs3.OK && res.Wcc.After.Present {
+		c.mu.Lock()
+		c.attrs[key] = res.Wcc.After.Attr
+		c.mu.Unlock()
+	}
+	return &res, oncrpc.Success
+}

@@ -1,0 +1,229 @@
+package sfs
+
+import (
+	"context"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/gridsec"
+	"repro/internal/idmap"
+	"repro/internal/metrics"
+	"repro/internal/mountd"
+	"repro/internal/nfs3"
+	"repro/internal/oncrpc"
+	"repro/internal/securechan"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// Dialer opens a transport.
+type Dialer func() (net.Conn, error)
+
+// ServerConfig configures an SFS server daemon.
+type ServerConfig struct {
+	// UpstreamDial connects to the NFS server being exported.
+	UpstreamDial Dialer
+	// ExportPath is the exported file system.
+	ExportPath string
+	// Credential is the server's self-signed key; its fingerprint is
+	// the HostID clients embed in pathnames.
+	Credential *gridsec.Credential
+	// Users maps authorized user key fingerprints to local accounts
+	// (the role of the SFS authserver).
+	Users map[string]idmap.Account
+	// Meter, when non-nil, accumulates the daemon's processing time.
+	Meter *metrics.Meter
+}
+
+// Server is the SFS server daemon: it authenticates users by public
+// key, terminates the RC4+SHA1 channel, and forwards NFS RPCs to the
+// local server under the mapped account.
+type Server struct {
+	cfg  ServerConfig
+	rpc  *oncrpc.Server
+	up   *oncrpc.Client
+	root nfs3.FH3
+
+	sessions sync.Map // net.Conn -> oncrpc.OpaqueAuth
+
+	mu        sync.Mutex
+	listeners []net.Listener
+}
+
+// NewServer mounts the upstream export and returns a daemon ready to
+// serve.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Credential == nil {
+		return nil, errors.New("sfs: server requires a credential")
+	}
+	ctx := context.Background()
+	conn, err := cfg.UpstreamDial()
+	if err != nil {
+		return nil, err
+	}
+	mc := oncrpc.NewClient(conn, mountd.Program, mountd.Version)
+	var mres mountd.MntRes
+	err = mc.Call(ctx, mountd.ProcMnt, &mountd.MntArgs{Path: cfg.ExportPath}, &mres)
+	mc.Close()
+	if err != nil {
+		return nil, err
+	}
+	if mres.Status != mountd.MntOK {
+		return nil, fmt.Errorf("sfs: upstream mount refused: %w", vfs.Errno(mres.Status))
+	}
+	upConn, err := cfg.UpstreamDial()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:  cfg,
+		rpc:  oncrpc.NewServer(),
+		up:   oncrpc.NewClient(upConn, nfs3.Program, nfs3.Version),
+		root: mres.FH,
+	}
+	s.register()
+	return s, nil
+}
+
+// HostID returns the server's self-certifying identifier.
+func (s *Server) HostID() string { return HostID(s.cfg.Credential) }
+
+// Serve accepts SFS client connections.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(raw net.Conn) {
+	var account idmap.Account
+	cfg := &securechan.Config{
+		Credential:     s.cfg.Credential,
+		Suites:         []securechan.Suite{securechan.SuiteRC4SHA1},
+		Meter:          s.cfg.Meter,
+		SelfCertifying: true,
+		VerifyPeer: func(_ string, chain []*x509.Certificate) error {
+			fp := gridsec.KeyFingerprint(chain[0])
+			acct, ok := s.cfg.Users[fp]
+			if !ok {
+				return fmt.Errorf("sfs: unknown user key %s", fp[:12])
+			}
+			account = acct
+			return nil
+		},
+	}
+	sc, err := securechan.Server(raw, cfg)
+	if err != nil {
+		return
+	}
+	cred, err := (&oncrpc.AuthSys{MachineName: "sfs", UID: account.UID, GID: account.GID, GIDs: account.GIDs}).Auth()
+	if err != nil {
+		sc.Close()
+		return
+	}
+	s.sessions.Store(net.Conn(sc), cred)
+	defer s.sessions.Delete(net.Conn(sc))
+	s.rpc.ServeConn(sc)
+}
+
+// Close shuts the daemon down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+	s.rpc.Close()
+	s.up.Close()
+}
+
+func (s *Server) cred(call *oncrpc.Call) oncrpc.OpaqueAuth {
+	if v, ok := s.sessions.Load(call.Conn); ok {
+		return v.(oncrpc.OpaqueAuth)
+	}
+	return oncrpc.AuthNone
+}
+
+type wire interface {
+	xdr.Marshaler
+	xdr.Unmarshaler
+}
+
+// forward builds a pass-through handler executing under the session's
+// mapped credential.
+func (s *Server) forward(proc uint32, newArgs func() wire, newRes func() wire) oncrpc.Handler {
+	return func(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+		start := time.Now()
+		a := newArgs()
+		if call.DecodeArgs(a) != nil {
+			return nil, oncrpc.GarbageArgs
+		}
+		res := newRes()
+		callStart := time.Now()
+		err := s.up.CallCred(ctx, proc, s.cred(call), a, res)
+		callDur := time.Since(callStart)
+		if s.cfg.Meter != nil {
+			// Local processing only: exclude the upstream wait.
+			s.cfg.Meter.Add(time.Since(start) - callDur)
+		}
+		if err != nil {
+			return nil, oncrpc.SystemErr
+		}
+		return res, oncrpc.Success
+	}
+}
+
+func (s *Server) register() {
+	s.rpc.Register(mountd.Program, mountd.Version, map[uint32]oncrpc.Handler{
+		mountd.ProcMnt: func(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
+			var a mountd.MntArgs
+			if call.DecodeArgs(&a) != nil {
+				return nil, oncrpc.GarbageArgs
+			}
+			// SFS clients name the export by self-certifying path or
+			// the raw export; accept both.
+			if a.Path != s.cfg.ExportPath && !isSelfCertifying(a.Path) {
+				return &mountd.MntRes{Status: mountd.MntNoEnt}, oncrpc.Success
+			}
+			return &mountd.MntRes{Status: mountd.MntOK, FH: s.root, Flavors: []uint32{oncrpc.AuthFlavorSys}}, oncrpc.Success
+		},
+	})
+	s.rpc.Register(nfs3.Program, nfs3.Version, map[uint32]oncrpc.Handler{
+		nfs3.ProcGetAttr:     s.forward(nfs3.ProcGetAttr, func() wire { return &nfs3.GetAttrArgs{} }, func() wire { return &nfs3.GetAttrRes{} }),
+		nfs3.ProcSetAttr:     s.forward(nfs3.ProcSetAttr, func() wire { return &nfs3.SetAttrArgs{} }, func() wire { return &nfs3.WccRes{} }),
+		nfs3.ProcLookup:      s.forward(nfs3.ProcLookup, func() wire { return &nfs3.LookupArgs{} }, func() wire { return &nfs3.LookupRes{} }),
+		nfs3.ProcAccess:      s.forward(nfs3.ProcAccess, func() wire { return &nfs3.AccessArgs{} }, func() wire { return &nfs3.AccessRes{} }),
+		nfs3.ProcReadLink:    s.forward(nfs3.ProcReadLink, func() wire { return &nfs3.ReadLinkArgs{} }, func() wire { return &nfs3.ReadLinkRes{} }),
+		nfs3.ProcRead:        s.forward(nfs3.ProcRead, func() wire { return &nfs3.ReadArgs{} }, func() wire { return &nfs3.ReadRes{} }),
+		nfs3.ProcWrite:       s.forward(nfs3.ProcWrite, func() wire { return &nfs3.WriteArgs{} }, func() wire { return &nfs3.WriteRes{} }),
+		nfs3.ProcCreate:      s.forward(nfs3.ProcCreate, func() wire { return &nfs3.CreateArgs{} }, func() wire { return &nfs3.CreateRes{} }),
+		nfs3.ProcMkdir:       s.forward(nfs3.ProcMkdir, func() wire { return &nfs3.MkdirArgs{} }, func() wire { return &nfs3.CreateRes{} }),
+		nfs3.ProcSymlink:     s.forward(nfs3.ProcSymlink, func() wire { return &nfs3.SymlinkArgs{} }, func() wire { return &nfs3.CreateRes{} }),
+		nfs3.ProcRemove:      s.forward(nfs3.ProcRemove, func() wire { return &nfs3.RemoveArgs{} }, func() wire { return &nfs3.WccRes{} }),
+		nfs3.ProcRmdir:       s.forward(nfs3.ProcRmdir, func() wire { return &nfs3.RemoveArgs{} }, func() wire { return &nfs3.WccRes{} }),
+		nfs3.ProcRename:      s.forward(nfs3.ProcRename, func() wire { return &nfs3.RenameArgs{} }, func() wire { return &nfs3.RenameRes{} }),
+		nfs3.ProcLink:        s.forward(nfs3.ProcLink, func() wire { return &nfs3.LinkArgs{} }, func() wire { return &nfs3.LinkRes{} }),
+		nfs3.ProcReadDir:     s.forward(nfs3.ProcReadDir, func() wire { return &nfs3.ReadDirArgs{} }, func() wire { return &nfs3.ReadDirRes{} }),
+		nfs3.ProcReadDirPlus: s.forward(nfs3.ProcReadDirPlus, func() wire { return &nfs3.ReadDirPlusArgs{} }, func() wire { return &nfs3.ReadDirPlusRes{} }),
+		nfs3.ProcFSStat:      s.forward(nfs3.ProcFSStat, func() wire { return &nfs3.FSStatArgs{} }, func() wire { return &nfs3.FSStatRes{} }),
+		nfs3.ProcFSInfo:      s.forward(nfs3.ProcFSInfo, func() wire { return &nfs3.FSStatArgs{} }, func() wire { return &nfs3.FSInfoRes{} }),
+		nfs3.ProcPathConf:    s.forward(nfs3.ProcPathConf, func() wire { return &nfs3.FSStatArgs{} }, func() wire { return &nfs3.PathConfRes{} }),
+		nfs3.ProcCommit:      s.forward(nfs3.ProcCommit, func() wire { return &nfs3.CommitArgs{} }, func() wire { return &nfs3.CommitRes{} }),
+	})
+}
+
+func isSelfCertifying(p string) bool {
+	_, _, err := ParsePath(p)
+	return err == nil
+}

@@ -1,0 +1,52 @@
+// Package sfs reproduces the Self-certifying File System baseline the
+// paper compares against (Mazières et al. [34], §6.1 "Sfs"). SFS is
+// another NFS-based user-level secure file system with three
+// distinguishing properties, all modelled here:
+//
+//   - Self-certifying pathnames: /sfs/host:HostID embeds the hash of
+//     the server's public key, so the client authenticates the server
+//     with no certificate authority (Config.SelfCertifying channels).
+//   - A customized RC4 + SHA1-HMAC protected channel (the paper notes
+//     this is close to the sgfs-rc configuration).
+//   - Asynchronous RPCs and aggressive in-memory caching of attributes
+//     and access permissions — the reason sfs beats the blocking
+//     sgfs-rc prototype by ~15% on IOzone and burns >30% CPU.
+package sfs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gridsec"
+)
+
+// PathPrefix roots all self-certifying pathnames.
+const PathPrefix = "/sfs/"
+
+// HostID computes the self-certifying host identifier of a server
+// credential: the hash of its public key.
+func HostID(cred *gridsec.Credential) string {
+	return gridsec.KeyFingerprint(cred.Cert)
+}
+
+// FormatPath renders the self-certifying pathname for a server.
+func FormatPath(host string, hostID string) string {
+	return PathPrefix + host + ":" + hostID
+}
+
+// ParsePath splits a self-certifying pathname into host location and
+// HostID.
+func ParsePath(p string) (host, hostID string, err error) {
+	if !strings.HasPrefix(p, PathPrefix) {
+		return "", "", fmt.Errorf("sfs: %q is not a self-certifying pathname", p)
+	}
+	rest := strings.TrimPrefix(p, PathPrefix)
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	colon := strings.LastIndexByte(rest, ':')
+	if colon <= 0 || colon == len(rest)-1 {
+		return "", "", fmt.Errorf("sfs: pathname %q lacks host:hostid", p)
+	}
+	return rest[:colon], rest[colon+1:], nil
+}

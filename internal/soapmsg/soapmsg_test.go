@@ -1,0 +1,137 @@
+package soapmsg
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gridsec"
+)
+
+type createReq struct {
+	XMLName xml.Name `xml:"CreateSession"`
+	Export  string   `xml:"Export"`
+	Suite   string   `xml:"Suite"`
+}
+
+func pki(t *testing.T) (*gridsec.CA, *gridsec.Credential) {
+	t.Helper()
+	ca, err := gridsec.NewCA("SOAP Grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.IssueUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, user
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	ca, user := pki(t)
+	body, _ := MarshalBody(createReq{Export: "/GFS/alice", Suite: "aes"})
+	env, err := Sign("CreateSession", body, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, gotBody, dn, err := Verify(env, ca.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "CreateSession" {
+		t.Fatalf("action %q", action)
+	}
+	if dn != user.DN() {
+		t.Fatalf("dn %q", dn)
+	}
+	var req createReq
+	if err := UnmarshalBody(gotBody, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Export != "/GFS/alice" || req.Suite != "aes" {
+		t.Fatalf("body %+v", req)
+	}
+}
+
+func TestProxyCredentialSigning(t *testing.T) {
+	ca, user := pki(t)
+	proxy, err := user.IssueProxy(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := MarshalBody(createReq{Export: "/x"})
+	env, err := Sign("CreateSession", body, proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, dn, err := Verify(env, ca.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != user.DN() {
+		t.Fatalf("delegated message attributed to %q, want %q", dn, user.DN())
+	}
+}
+
+func TestTamperedBodyRejected(t *testing.T) {
+	ca, user := pki(t)
+	body, _ := MarshalBody(createReq{Export: "/GFS/alice"})
+	env, _ := Sign("CreateSession", body, user)
+	tampered := bytes.Replace(env, []byte("/GFS/alice"), []byte("/GFS/mallo"), 1)
+	if !bytes.Contains(tampered, []byte("/GFS/mallo")) {
+		t.Fatal("test setup: tampering failed")
+	}
+	if _, _, _, err := Verify(tampered, ca.Pool()); !errors.Is(err, ErrBadDigest) {
+		t.Fatalf("got %v, want ErrBadDigest", err)
+	}
+}
+
+func TestUntrustedSignerRejected(t *testing.T) {
+	ca, _ := pki(t)
+	rogueCA, _ := gridsec.NewCA("Rogue")
+	mallory, _ := rogueCA.IssueUser("mallory")
+	body, _ := MarshalBody(createReq{})
+	env, _ := Sign("X", body, mallory)
+	if _, _, _, err := Verify(env, ca.Pool()); !errors.Is(err, gridsec.ErrNotTrusted) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUnsignedEnvelopeRejected(t *testing.T) {
+	ca, _ := pki(t)
+	raw := []byte(`<Envelope xmlns="ns"><Header></Header><Body><X/></Body></Envelope>`)
+	if _, _, _, err := Verify(raw, ca.Pool()); !errors.Is(err, ErrNoSecurityHeader) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	ca, _ := pki(t)
+	if _, _, _, err := Verify([]byte("not xml at all <<<"), ca.Pool()); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSignatureFromWrongKeyRejected(t *testing.T) {
+	ca, user := pki(t)
+	bob, _ := ca.IssueUser("bob")
+	body, _ := MarshalBody(createReq{Export: "/x"})
+	// Sign with bob's key but present alice's certificate: splice the
+	// envelopes.
+	envAlice, _ := Sign("A", body, user)
+	envBob, _ := Sign("A", body, bob)
+	// Extract bob's SignatureValue and inject into alice's envelope.
+	sigStart := bytes.Index(envBob, []byte("<SignatureValue>"))
+	sigEnd := bytes.Index(envBob, []byte("</SignatureValue>"))
+	bobSig := envBob[sigStart : sigEnd+len("</SignatureValue>")]
+	aStart := bytes.Index(envAlice, []byte("<SignatureValue>"))
+	aEnd := bytes.Index(envAlice, []byte("</SignatureValue>"))
+	spliced := append([]byte{}, envAlice[:aStart]...)
+	spliced = append(spliced, bobSig...)
+	spliced = append(spliced, envAlice[aEnd+len("</SignatureValue>"):]...)
+	if _, _, _, err := Verify(spliced, ca.Pool()); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+package sshtun
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/gridsec"
+	"repro/internal/securechan"
+)
+
+// startEcho runs a plaintext echo server (standing in for the GFS
+// server-side proxy).
+func startEcho(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func buildTunnel(t *testing.T) string {
+	t.Helper()
+	ca, err := gridsec.NewCA("Tunnel Grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostCred, _ := ca.IssueHost("fileserver")
+	userCred, _ := ca.IssueUser("alice")
+
+	echoAddr := startEcho(t)
+
+	srv := NewServer(
+		&securechan.Config{Credential: hostCred, Roots: ca.Pool()},
+		func() (net.Conn, error) { return net.Dial("tcp", echoAddr) },
+	)
+	srvL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(srvL)
+	t.Cleanup(srv.Close)
+
+	cli := NewClient(
+		&securechan.Config{Credential: userCred, Roots: ca.Pool()},
+		func() (net.Conn, error) { return net.Dial("tcp", srvL.Addr().String()) },
+	)
+	cliL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go cli.Serve(cliL)
+	t.Cleanup(cli.Close)
+	return cliL.Addr().String()
+}
+
+func TestTunnelEndToEnd(t *testing.T) {
+	addr := buildTunnel(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("rpc message through double forwarding")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+}
+
+func TestTunnelLargeTransfer(t *testing.T) {
+	addr := buildTunnel(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := bytes.Repeat([]byte{0xAB}, 512*1024)
+	go conn.Write(payload)
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large transfer corrupted through tunnel")
+	}
+}
+
+func TestTunnelMultipleConnections(t *testing.T) {
+	addr := buildTunnel(t)
+	for i := 0; i < 4; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte{byte(i), byte(i + 1)}
+		conn.Write(msg)
+		got := make([]byte, 2)
+		if _, err := io.ReadFull(conn, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("conn %d corrupted", i)
+		}
+		conn.Close()
+	}
+}
+
+func TestTunnelWireIsEncrypted(t *testing.T) {
+	// Interpose on the tunnel hop and confirm the plaintext never
+	// appears on the wire.
+	ca, _ := gridsec.NewCA("Tunnel Grid")
+	hostCred, _ := ca.IssueHost("fs")
+	userCred, _ := ca.IssueUser("alice")
+	echoAddr := startEcho(t)
+
+	srv := NewServer(&securechan.Config{Credential: hostCred, Roots: ca.Pool()},
+		func() (net.Conn, error) { return net.Dial("tcp", echoAddr) })
+	srvL, _ := net.Listen("tcp", "127.0.0.1:0")
+	go srv.Serve(srvL)
+	defer srv.Close()
+
+	// Sniffing relay between tunnel client and server.
+	var sniffed bytes.Buffer
+	var sniffMu chan struct{} = make(chan struct{}, 1)
+	sniffL, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer sniffL.Close()
+	go func() {
+		for {
+			c, err := sniffL.Accept()
+			if err != nil {
+				return
+			}
+			out, err := net.Dial("tcp", srvL.Addr().String())
+			if err != nil {
+				c.Close()
+				continue
+			}
+			go func() {
+				buf := make([]byte, 32*1024)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						sniffMu <- struct{}{}
+						sniffed.Write(buf[:n])
+						<-sniffMu
+						out.Write(buf[:n])
+					}
+					if err != nil {
+						out.Close()
+						return
+					}
+				}
+			}()
+			go io.Copy(c, out)
+		}
+	}()
+
+	cli := NewClient(&securechan.Config{Credential: userCred, Roots: ca.Pool()},
+		func() (net.Conn, error) { return net.Dial("tcp", sniffL.Addr().String()) })
+	cliL, _ := net.Listen("tcp", "127.0.0.1:0")
+	go cli.Serve(cliL)
+	defer cli.Close()
+
+	conn, err := net.Dial("tcp", cliL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	secret := []byte("TOP-SECRET-SEISMIC-COORDINATES-0123456789")
+	conn.Write(secret)
+	got := make([]byte, len(secret))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	sniffMu <- struct{}{}
+	leaked := bytes.Contains(sniffed.Bytes(), secret)
+	<-sniffMu
+	if leaked {
+		t.Fatal("plaintext leaked onto the tunnel wire")
+	}
+}

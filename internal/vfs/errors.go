@@ -1,0 +1,75 @@
+package vfs
+
+import "fmt"
+
+// Errno is a file system error code. Values match NFSv3 nfsstat3 so
+// the NFS servers can report backend errors without translation.
+type Errno uint32
+
+// File system error codes (NFSv3 nfsstat3 values).
+const (
+	ErrPerm        Errno = 1     // not owner
+	ErrNoEnt       Errno = 2     // no such file or directory
+	ErrIO          Errno = 5     // hard I/O error
+	ErrNxIO        Errno = 6     // no such device
+	ErrAccess      Errno = 13    // permission denied
+	ErrExist       Errno = 17    // file exists
+	ErrXDev        Errno = 18    // cross-device hard link
+	ErrNoDev       Errno = 19    // no such device
+	ErrNotDir      Errno = 20    // not a directory
+	ErrIsDir       Errno = 21    // is a directory
+	ErrInval       Errno = 22    // invalid argument
+	ErrFBig        Errno = 27    // file too large
+	ErrNoSpc       Errno = 28    // no space left
+	ErrRoFs        Errno = 30    // read-only file system
+	ErrMLink       Errno = 31    // too many hard links
+	ErrNameTooLong Errno = 63    // filename too long
+	ErrNotEmpty    Errno = 66    // directory not empty
+	ErrDQuot       Errno = 69    // quota exceeded
+	ErrStale       Errno = 70    // stale file handle
+	ErrBadHandle   Errno = 10001 // illegal file handle
+	ErrNotSupp     Errno = 10004 // operation not supported
+	ErrServerFault Errno = 10006 // undefined server error
+)
+
+// Error implements error.
+func (e Errno) Error() string {
+	switch e {
+	case ErrPerm:
+		return "operation not permitted"
+	case ErrNoEnt:
+		return "no such file or directory"
+	case ErrIO:
+		return "input/output error"
+	case ErrAccess:
+		return "permission denied"
+	case ErrExist:
+		return "file exists"
+	case ErrNotDir:
+		return "not a directory"
+	case ErrIsDir:
+		return "is a directory"
+	case ErrInval:
+		return "invalid argument"
+	case ErrFBig:
+		return "file too large"
+	case ErrNoSpc:
+		return "no space left on device"
+	case ErrRoFs:
+		return "read-only file system"
+	case ErrNameTooLong:
+		return "file name too long"
+	case ErrNotEmpty:
+		return "directory not empty"
+	case ErrStale:
+		return "stale file handle"
+	case ErrBadHandle:
+		return "illegal NFS file handle"
+	case ErrNotSupp:
+		return "operation not supported"
+	case ErrServerFault:
+		return "server fault"
+	default:
+		return fmt.Sprintf("vfs error %d", uint32(e))
+	}
+}

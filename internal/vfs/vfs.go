@@ -1,0 +1,192 @@
+// Package vfs defines the file system service-provider interface that
+// backs the NFS servers in this repository, together with two
+// implementations: MemFS, an inode-based in-memory file system used by
+// tests and benchmarks, and OSFS, a passthrough onto a local directory
+// used when exporting real data.
+//
+// The interface mirrors the NFSv3 operation set: every object is named
+// by an opaque Handle, attributes follow the fattr3 structure, and
+// directory reading is cookie-based so READDIR can resume. Keeping the
+// SPI protocol-shaped lets the NFSv3 and NFSv4 servers, the SGFS
+// proxies, and the benchmarks all share backends.
+package vfs
+
+import (
+	"time"
+)
+
+// HandleSize is the fixed size of a file handle. NFSv3 allows up to 64
+// bytes; 16 is ample for an inode number plus generation counter.
+const HandleSize = 16
+
+// Handle names a file system object. Handles are stable across rename
+// and remain valid until the object is removed.
+type Handle [HandleSize]byte
+
+// FileType enumerates object types, with values matching NFSv3 ftype3.
+type FileType uint32
+
+// File types (NFSv3 ftype3 values).
+const (
+	TypeReg     FileType = 1
+	TypeDir     FileType = 2
+	TypeBlk     FileType = 3
+	TypeChr     FileType = 4
+	TypeSymlink FileType = 5
+	TypeSock    FileType = 6
+	TypeFifo    FileType = 7
+)
+
+// Attr carries an object's attributes (NFSv3 fattr3 without rdev).
+type Attr struct {
+	Type   FileType
+	Mode   uint32 // permission bits only (low 12 bits meaningful)
+	Nlink  uint32
+	UID    uint32
+	GID    uint32
+	Size   uint64
+	Used   uint64
+	FileID uint64
+	Atime  time.Time
+	Mtime  time.Time
+	Ctime  time.Time
+}
+
+// SetAttr lists attribute updates; nil fields are left unchanged.
+type SetAttr struct {
+	Mode  *uint32
+	UID   *uint32
+	GID   *uint32
+	Size  *uint64
+	Atime *time.Time
+	Mtime *time.Time
+}
+
+// DirEntry is one directory entry as returned by ReadDir.
+type DirEntry struct {
+	Name   string
+	FileID uint64
+	Cookie uint64 // position after this entry, for resumption
+	Handle Handle // valid when the implementation supports READDIRPLUS
+	Attr   *Attr  // optional, for READDIRPLUS
+}
+
+// FSStat reports file system capacity (NFSv3 FSSTAT).
+type FSStat struct {
+	TotalBytes uint64
+	FreeBytes  uint64
+	AvailBytes uint64
+	TotalFiles uint64
+	FreeFiles  uint64
+}
+
+// FS is the backend file system interface. Implementations must be
+// safe for concurrent use.
+type FS interface {
+	// Root returns the handle of the file system root directory.
+	Root() Handle
+	// GetAttr returns the attributes of h.
+	GetAttr(h Handle) (Attr, error)
+	// SetAttr applies the non-nil fields of s to h.
+	SetAttr(h Handle, s SetAttr) (Attr, error)
+	// Lookup resolves name within directory dir.
+	Lookup(dir Handle, name string) (Handle, Attr, error)
+	// ReadLink returns the target of a symbolic link.
+	ReadLink(h Handle) (string, error)
+	// Read reads up to len(buf) bytes at off, reporting EOF when the
+	// read reaches the end of the file.
+	Read(h Handle, off uint64, buf []byte) (n int, eof bool, err error)
+	// Write writes data at off, extending the file as needed.
+	Write(h Handle, off uint64, data []byte) error
+	// Create makes a regular file in dir. When exclusive is set the
+	// call fails with ErrExist if name already exists; otherwise an
+	// existing regular file is truncated per attr.
+	Create(dir Handle, name string, attr SetAttr, exclusive bool) (Handle, Attr, error)
+	// Mkdir makes a directory in dir.
+	Mkdir(dir Handle, name string, attr SetAttr) (Handle, Attr, error)
+	// Symlink makes a symbolic link to target.
+	Symlink(dir Handle, name, target string, attr SetAttr) (Handle, Attr, error)
+	// Remove unlinks a non-directory.
+	Remove(dir Handle, name string) error
+	// Rmdir removes an empty directory.
+	Rmdir(dir Handle, name string) error
+	// Rename moves fromName in fromDir to toName in toDir.
+	Rename(fromDir Handle, fromName string, toDir Handle, toName string) error
+	// Link makes a hard link to h named name in dir.
+	Link(h Handle, dir Handle, name string) error
+	// ReadDir lists entries starting after cookie, at most count.
+	ReadDir(dir Handle, cookie uint64, count int) (entries []DirEntry, eof bool, err error)
+	// FSStat reports capacity for the file system containing h.
+	FSStat(h Handle) (FSStat, error)
+	// Commit flushes buffered writes for h to stable storage.
+	Commit(h Handle) error
+}
+
+// Creds is the local identity an operation runs as, after any identity
+// mapping has been applied.
+type Creds struct {
+	UID  uint32
+	GID  uint32
+	GIDs []uint32
+}
+
+// Access permission bits (NFSv3 ACCESS3 mask values).
+const (
+	AccessRead    = 0x0001
+	AccessLookup  = 0x0002
+	AccessModify  = 0x0004
+	AccessExtend  = 0x0008
+	AccessDelete  = 0x0010
+	AccessExecute = 0x0020
+)
+
+// CheckAccess evaluates the classic UNIX permission algorithm for
+// creds against attr and returns the subset of mask that is granted.
+// UID 0 is granted everything, matching kernel NFS servers.
+func CheckAccess(attr Attr, creds Creds, mask uint32) uint32 {
+	if creds.UID == 0 {
+		return mask
+	}
+	var shift uint
+	switch {
+	case creds.UID == attr.UID:
+		shift = 6
+	case inGroup(creds, attr.GID):
+		shift = 3
+	default:
+		shift = 0
+	}
+	r := attr.Mode>>shift&4 != 0
+	w := attr.Mode>>shift&2 != 0
+	x := attr.Mode>>shift&1 != 0
+
+	var granted uint32
+	if r {
+		granted |= AccessRead
+	}
+	if w {
+		granted |= AccessModify | AccessExtend | AccessDelete
+	}
+	if x {
+		granted |= AccessExecute
+		if attr.Type == TypeDir {
+			granted |= AccessLookup
+		}
+	}
+	if attr.Type == TypeDir && r {
+		granted |= AccessLookup
+	}
+	return granted & mask
+}
+
+func inGroup(creds Creds, gid uint32) bool {
+	if creds.GID == gid {
+		return true
+	}
+	for _, g := range creds.GIDs {
+		if g == gid {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,310 @@
+// Package xdr implements the External Data Representation standard
+// (XDR, RFC 4506) used by ONC RPC and the NFS protocol family.
+//
+// The package provides a streaming Encoder/Decoder pair operating on
+// io.Writer/io.Reader, covering every primitive the NFS and MOUNT
+// protocols need: 32- and 64-bit integers, booleans, fixed and
+// variable-length opaque data, strings, and optional ("pointer")
+// values. All quantities are big-endian and padded to 4-byte
+// boundaries as the standard requires.
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Maximum variable-length element size accepted by a Decoder. This is a
+// safety valve against corrupt or hostile length prefixes; NFSv3 never
+// legitimately exceeds it (the largest objects are READ/WRITE payloads,
+// bounded by rtmax/wtmax which are well under this limit).
+const MaxElementSize = 1 << 26 // 64 MiB
+
+// ErrElementTooLarge is returned when a decoded length prefix exceeds
+// MaxElementSize.
+var ErrElementTooLarge = errors.New("xdr: element length exceeds maximum")
+
+var pad [4]byte
+
+// Encoder writes XDR-encoded values to an underlying writer.
+type Encoder struct {
+	w   io.Writer
+	buf [8]byte
+	err error
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Err returns the first error encountered by the encoder, if any.
+func (e *Encoder) Err() error { return e.err }
+
+func (e *Encoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	binary.BigEndian.PutUint32(e.buf[:4], v)
+	e.write(e.buf[:4])
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned integer (XDR unsigned hyper).
+func (e *Encoder) Uint64(v uint64) {
+	binary.BigEndian.PutUint64(e.buf[:8], v)
+	e.write(e.buf[:8])
+}
+
+// Int64 encodes a 64-bit signed integer (XDR hyper).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool encodes an XDR boolean (a 32-bit 0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// Float64 encodes an IEEE 754 double-precision value.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// FixedOpaque encodes opaque data of a length known to both sides,
+// padding to a 4-byte boundary.
+func (e *Encoder) FixedOpaque(p []byte) {
+	e.write(p)
+	if n := len(p) % 4; n != 0 {
+		e.write(pad[:4-n])
+	}
+}
+
+// Opaque encodes variable-length opaque data: a length prefix followed
+// by the bytes, padded to a 4-byte boundary.
+func (e *Encoder) Opaque(p []byte) {
+	e.Uint32(uint32(len(p)))
+	e.FixedOpaque(p)
+}
+
+// String encodes an XDR string (identical wire form to Opaque).
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+	if n := len(s) % 4; n != 0 {
+		e.write(pad[:4-n])
+	}
+}
+
+// OptionalBegin encodes the presence discriminant of an XDR optional
+// value ("*type"). When present is true the caller must follow with the
+// encoding of the value itself.
+func (e *Encoder) OptionalBegin(present bool) { e.Bool(present) }
+
+// Decoder reads XDR-encoded values from an underlying reader.
+type Decoder struct {
+	r   io.Reader
+	buf [8]byte
+	err error
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Err returns the first error encountered by the decoder, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// SetErr records a validation error discovered by a caller while
+// decoding, unless an earlier error is already pending. Subsequent
+// decode calls become no-ops, matching the decoder's sticky-error
+// discipline.
+func (d *Decoder) SetErr(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) read(p []byte) {
+	if d.err != nil {
+		return
+	}
+	_, d.err = io.ReadFull(d.r, p)
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() uint32 {
+	d.read(d.buf[:4])
+	if d.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(d.buf[:4])
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() uint64 {
+	d.read(d.buf[:8])
+	if d.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(d.buf[:8])
+}
+
+// Int64 decodes a 64-bit signed integer.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Bool decodes an XDR boolean. Any nonzero value is treated as true,
+// matching the leniency of common XDR implementations.
+func (d *Decoder) Bool() bool { return d.Uint32() != 0 }
+
+// Float64 decodes an IEEE 754 double-precision value.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+func (d *Decoder) skipPad(n int) {
+	if m := n % 4; m != 0 {
+		var p [4]byte
+		d.read(p[:4-m])
+	}
+}
+
+// FixedOpaque decodes opaque data of known length into p.
+func (d *Decoder) FixedOpaque(p []byte) {
+	d.read(p)
+	d.skipPad(len(p))
+}
+
+// Opaque decodes variable-length opaque data, enforcing MaxElementSize.
+func (d *Decoder) Opaque() []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxElementSize {
+		d.err = fmt.Errorf("%w: %d bytes", ErrElementTooLarge, n)
+		return nil
+	}
+	p := make([]byte, n)
+	d.FixedOpaque(p)
+	if d.err != nil {
+		return nil
+	}
+	return p
+}
+
+// OpaqueInto decodes variable-length opaque data into dst when it fits,
+// avoiding an allocation; otherwise it allocates. It returns the slice
+// holding the data.
+func (d *Decoder) OpaqueInto(dst []byte) []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxElementSize {
+		d.err = fmt.Errorf("%w: %d bytes", ErrElementTooLarge, n)
+		return nil
+	}
+	var p []byte
+	if int(n) <= cap(dst) {
+		p = dst[:n]
+	} else {
+		p = make([]byte, n)
+	}
+	d.FixedOpaque(p)
+	if d.err != nil {
+		return nil
+	}
+	return p
+}
+
+// String decodes an XDR string.
+func (d *Decoder) String() string {
+	return string(d.Opaque())
+}
+
+// OptionalPresent decodes the presence discriminant of an XDR optional
+// value. When it returns true the caller must decode the value.
+func (d *Decoder) OptionalPresent() bool { return d.Bool() }
+
+// Marshaler is implemented by types that can encode themselves in XDR.
+type Marshaler interface {
+	EncodeXDR(*Encoder)
+}
+
+// Unmarshaler is implemented by types that can decode themselves.
+type Unmarshaler interface {
+	DecodeXDR(*Decoder)
+}
+
+// Marshal encodes v into a fresh byte slice.
+func Marshal(v Marshaler) ([]byte, error) {
+	var b Buffer
+	e := NewEncoder(&b)
+	v.EncodeXDR(e)
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// Unmarshal decodes v from p, requiring that all of p be consumed.
+func Unmarshal(p []byte, v Unmarshaler) error {
+	b := Buffer{data: p}
+	d := NewDecoder(&b)
+	v.DecodeXDR(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if b.Len() != 0 {
+		return fmt.Errorf("xdr: %d trailing bytes after decode", b.Len())
+	}
+	return nil
+}
+
+// Buffer is a minimal growable byte buffer implementing io.Reader and
+// io.Writer, used to avoid importing bytes in hot paths and to allow
+// Unmarshal to check for trailing data.
+type Buffer struct {
+	data []byte
+	off  int
+}
+
+// Bytes returns the unread portion of the buffer.
+func (b *Buffer) Bytes() []byte { return b.data[b.off:] }
+
+// Len returns the number of unread bytes.
+func (b *Buffer) Len() int { return len(b.data) - b.off }
+
+// Write appends p to the buffer.
+func (b *Buffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// Read reads from the unread portion of the buffer.
+func (b *Buffer) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+// Reset truncates the buffer to empty, retaining capacity.
+func (b *Buffer) Reset() {
+	b.data = b.data[:0]
+	b.off = 0
+}

@@ -1,0 +1,313 @@
+package xdr
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, enc func(*Encoder), dec func(*Decoder)) {
+	t.Helper()
+	var b Buffer
+	e := NewEncoder(&b)
+	enc(e)
+	if err := e.Err(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if b.Len()%4 != 0 {
+		t.Fatalf("encoded length %d not a multiple of 4", b.Len())
+	}
+	d := NewDecoder(&b)
+	dec(d)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("%d trailing bytes", b.Len())
+	}
+}
+
+func TestUint32RoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0x7fffffff, 0x80000000, 0xffffffff} {
+		roundTrip(t, func(e *Encoder) { e.Uint32(v) }, func(d *Decoder) {
+			if got := d.Uint32(); got != v {
+				t.Errorf("got %d want %d", got, v)
+			}
+		})
+	}
+}
+
+func TestInt32RoundTrip(t *testing.T) {
+	for _, v := range []int32{0, -1, math.MinInt32, math.MaxInt32, 42} {
+		roundTrip(t, func(e *Encoder) { e.Int32(v) }, func(d *Decoder) {
+			if got := d.Int32(); got != v {
+				t.Errorf("got %d want %d", got, v)
+			}
+		})
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, math.MaxUint64, 1 << 33} {
+		roundTrip(t, func(e *Encoder) { e.Uint64(v) }, func(d *Decoder) {
+			if got := d.Uint64(); got != v {
+				t.Errorf("got %d want %d", got, v)
+			}
+		})
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{0, -1, math.MinInt64, math.MaxInt64} {
+		roundTrip(t, func(e *Encoder) { e.Int64(v) }, func(d *Decoder) {
+			if got := d.Int64(); got != v {
+				t.Errorf("got %d want %d", got, v)
+			}
+		})
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		roundTrip(t, func(e *Encoder) { e.Bool(v) }, func(d *Decoder) {
+			if got := d.Bool(); got != v {
+				t.Errorf("got %v want %v", got, v)
+			}
+		})
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, -1.5, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64} {
+		roundTrip(t, func(e *Encoder) { e.Float64(v) }, func(d *Decoder) {
+			if got := d.Float64(); got != v {
+				t.Errorf("got %v want %v", got, v)
+			}
+		})
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, v := range []string{"", "a", "ab", "abc", "abcd", "hello, wörld"} {
+		roundTrip(t, func(e *Encoder) { e.String(v) }, func(d *Decoder) {
+			if got := d.String(); got != v {
+				t.Errorf("got %q want %q", got, v)
+			}
+		})
+	}
+}
+
+func TestOpaqueRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 1023} {
+		v := make([]byte, n)
+		for i := range v {
+			v[i] = byte(i)
+		}
+		roundTrip(t, func(e *Encoder) { e.Opaque(v) }, func(d *Decoder) {
+			if got := d.Opaque(); !bytes.Equal(got, v) {
+				t.Errorf("len %d: mismatch", n)
+			}
+		})
+	}
+}
+
+func TestFixedOpaquePadding(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		v := make([]byte, n)
+		var b Buffer
+		e := NewEncoder(&b)
+		e.FixedOpaque(v)
+		want := (n + 3) / 4 * 4
+		if b.Len() != want {
+			t.Errorf("n=%d: encoded %d bytes, want %d", n, b.Len(), want)
+		}
+	}
+}
+
+func TestOpaqueIntoReuse(t *testing.T) {
+	var b Buffer
+	e := NewEncoder(&b)
+	payload := []byte("payload-bytes")
+	e.Opaque(payload)
+	d := NewDecoder(&b)
+	dst := make([]byte, 0, 64)
+	got := d.OpaqueInto(dst)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("OpaqueInto did not reuse the destination buffer")
+	}
+}
+
+func TestOpaqueIntoGrows(t *testing.T) {
+	var b Buffer
+	e := NewEncoder(&b)
+	payload := bytes.Repeat([]byte{7}, 100)
+	e.Opaque(payload)
+	d := NewDecoder(&b)
+	got := d.OpaqueInto(make([]byte, 0, 4))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("mismatch after growth")
+	}
+}
+
+func TestOpaqueTooLarge(t *testing.T) {
+	var b Buffer
+	e := NewEncoder(&b)
+	e.Uint32(MaxElementSize + 1)
+	d := NewDecoder(&b)
+	if got := d.Opaque(); got != nil {
+		t.Fatal("expected nil result")
+	}
+	if d.Err() == nil {
+		t.Fatal("expected error for oversized element")
+	}
+}
+
+func TestDecoderShortInput(t *testing.T) {
+	d := NewDecoder(bytes.NewReader([]byte{0, 0}))
+	d.Uint32()
+	if d.Err() != io.ErrUnexpectedEOF {
+		t.Fatalf("got %v, want unexpected EOF", d.Err())
+	}
+}
+
+func TestEncoderErrorSticks(t *testing.T) {
+	e := NewEncoder(failWriter{})
+	e.Uint32(1)
+	first := e.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	e.String("more")
+	if e.Err() != first {
+		t.Fatal("error did not stick")
+	}
+}
+
+func TestDecoderErrorSticks(t *testing.T) {
+	d := NewDecoder(bytes.NewReader(nil))
+	d.Uint32()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	d.Uint64()
+	if d.Err() != first {
+		t.Fatal("error did not stick")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestOptional(t *testing.T) {
+	roundTrip(t, func(e *Encoder) {
+		e.OptionalBegin(true)
+		e.Uint32(9)
+		e.OptionalBegin(false)
+	}, func(d *Decoder) {
+		if !d.OptionalPresent() {
+			t.Fatal("first optional should be present")
+		}
+		if d.Uint32() != 9 {
+			t.Fatal("wrong value")
+		}
+		if d.OptionalPresent() {
+			t.Fatal("second optional should be absent")
+		}
+	})
+}
+
+type pair struct {
+	A uint32
+	S string
+}
+
+func (p *pair) EncodeXDR(e *Encoder) { e.Uint32(p.A); e.String(p.S) }
+func (p *pair) DecodeXDR(d *Decoder) { p.A = d.Uint32(); p.S = d.String() }
+
+func TestMarshalUnmarshal(t *testing.T) {
+	in := &pair{A: 77, S: "grid"}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out pair
+	if err := Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != *in {
+		t.Fatalf("got %+v want %+v", out, *in)
+	}
+}
+
+func TestUnmarshalTrailing(t *testing.T) {
+	in := &pair{A: 1, S: "x"}
+	b, _ := Marshal(in)
+	b = append(b, 0, 0, 0, 0)
+	var out pair
+	if err := Unmarshal(b, &out); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	var b Buffer
+	b.Write([]byte{1, 2, 3})
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Property: any byte slice round-trips through variable-length opaque.
+func TestQuickOpaque(t *testing.T) {
+	f := func(p []byte) bool {
+		var b Buffer
+		e := NewEncoder(&b)
+		e.Opaque(p)
+		d := NewDecoder(&b)
+		got := d.Opaque()
+		return d.Err() == nil && bytes.Equal(got, p) && b.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any string round-trips.
+func TestQuickString(t *testing.T) {
+	f := func(s string) bool {
+		var b Buffer
+		e := NewEncoder(&b)
+		e.String(s)
+		d := NewDecoder(&b)
+		return d.String() == s && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixed sequences of integers round-trip in order.
+func TestQuickIntegers(t *testing.T) {
+	f := func(a uint32, b int32, c uint64, d int64) bool {
+		var buf Buffer
+		e := NewEncoder(&buf)
+		e.Uint32(a)
+		e.Int32(b)
+		e.Uint64(c)
+		e.Int64(d)
+		dec := NewDecoder(&buf)
+		return dec.Uint32() == a && dec.Int32() == b &&
+			dec.Uint64() == c && dec.Int64() == d && dec.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

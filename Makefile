@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race sgfs-vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+# Repo-specific analyzers (xdr-symmetry, lock-over-io,
+# unlocked-field-read, swallowed-error). Exceptions live in
+# .sgfsvet-ignore; see DESIGN.md.
+sgfs-vet:
+	$(GO) run ./cmd/sgfs-vet ./...
+
+# The CI gate: everything that must be green before merging.
+check: build vet race sgfs-vet

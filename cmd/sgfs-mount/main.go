@@ -128,13 +128,18 @@ func execute(ctx context.Context, fs *sgfs.FileSystem, line string) (quit bool) 
 		for {
 			n, err := f.Read(ctx, buf)
 			if n > 0 {
-				os.Stdout.Write(buf[:n])
+				if _, werr := os.Stdout.Write(buf[:n]); werr != nil {
+					fail(werr)
+					break
+				}
 			}
 			if err != nil || n == 0 {
 				break
 			}
 		}
-		f.Close(ctx)
+		if err := f.Close(ctx); err != nil {
+			fail(err)
+		}
 		fmt.Println()
 	case "put":
 		if len(args) < 2 {
@@ -146,7 +151,9 @@ func execute(ctx context.Context, fs *sgfs.FileSystem, line string) (quit bool) 
 			fail(err)
 			break
 		}
-		f.Write(ctx, []byte(strings.Join(args[1:], " ")+"\n"))
+		if _, err := f.Write(ctx, []byte(strings.Join(args[1:], " ")+"\n")); err != nil {
+			fail(err)
+		}
 		if err := f.Close(ctx); err != nil {
 			fail(err)
 		}

@@ -1,0 +1,148 @@
+// Command sgfs-vet runs the repository's custom static analyzers over
+// the module. It is built purely on the standard library's go/ast,
+// go/parser and go/types — no external tooling — and is wired into
+// `make check` and CI as a merge gate.
+//
+// Usage:
+//
+//	sgfs-vet [-ignore file] [-run a,b] [pattern ...]
+//
+// Patterns are package directories relative to the module root;
+// `./...` (the default) walks the whole module. Exit status is 0 when
+// clean, 1 when there are findings not covered by the allowlist, and
+// 2 on usage or load errors. See DESIGN.md, "Static analysis:
+// sgfs-vet".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/vet"
+)
+
+// lockIOPackages are the concurrent hot paths where holding a mutex
+// across transport I/O is either a deadlock or a throughput cliff.
+var lockIOPackages = []string{
+	"repro/internal/oncrpc",
+	"repro/internal/proxy",
+	"repro/internal/securechan",
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		ignorePath = flag.String("ignore", "", "allowlist file (default <module>/.sgfsvet-ignore)")
+		only       = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	)
+	flag.Parse()
+
+	moduleRoot, err := vet.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgfs-vet:", err)
+		return 2
+	}
+	loader, err := vet.NewLoader(moduleRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgfs-vet:", err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*vet.Package
+	for _, pattern := range patterns {
+		dirs, err := vet.PackageDirs(moduleRoot, pattern)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sgfs-vet: %s: %v\n", pattern, err)
+			return 2
+		}
+		for _, dir := range dirs {
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sgfs-vet: %s: %v\n", dir, err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	loadErrors := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "sgfs-vet: typecheck %s: %v\n", pkg.ImportPath, terr)
+			loadErrors++
+		}
+	}
+	if loadErrors > 0 {
+		return 2
+	}
+
+	analyzers := []vet.Analyzer{
+		vet.XDRSymmetry{},
+		vet.LockOverIO{Packages: lockIOPackages},
+		vet.UnlockedFieldRead{},
+		vet.SwallowedError{},
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var filtered []vet.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				filtered = append(filtered, a)
+				delete(want, a.Name())
+			}
+		}
+		if len(want) > 0 {
+			for name := range want {
+				fmt.Fprintf(os.Stderr, "sgfs-vet: unknown analyzer %q\n", name)
+			}
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	ipath := *ignorePath
+	if ipath == "" {
+		ipath = filepath.Join(moduleRoot, ".sgfsvet-ignore")
+	}
+	ignore, err := vet.LoadIgnore(ipath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgfs-vet:", err)
+		return 2
+	}
+
+	findings := 0
+	for _, d := range vet.RunAll(pkgs, analyzers) {
+		if ignore.Match(d) {
+			continue
+		}
+		fmt.Println(d)
+		findings++
+	}
+	// Stale allowlist entries rot silently; surface them, but only
+	// when a full run could have matched them. An explicit `./...`
+	// (how make check invokes us) is a full run too.
+	fullRun := len(flag.Args()) == 0 ||
+		(len(flag.Args()) == 1 && flag.Args()[0] == "./...")
+	if *only == "" && fullRun {
+		for _, line := range ignore.Unused() {
+			fmt.Fprintf(os.Stderr, "sgfs-vet: %s:%d: allowlist entry matched nothing (stale?)\n", ipath, line)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "sgfs-vet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

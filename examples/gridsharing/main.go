@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 
 	"repro"
@@ -25,9 +26,12 @@ func main() {
 
 	ca, err := sgfs.NewCA("Collaboration Grid")
 	check(err)
-	alice, _ := ca.IssueUser("alice")
-	bob, _ := ca.IssueUser("bob")
-	host, _ := ca.IssueHost("fs.alice-lab.example")
+	alice, err := ca.IssueUser("alice")
+	check(err)
+	bob, err := ca.IssueUser("bob")
+	check(err)
+	host, err := ca.IssueHost("fs.alice-lab.example")
+	check(err)
 
 	server, err := sgfs.StartServer(sgfs.ServerConfig{
 		ExportPath:  "/GFS/alice",
@@ -87,9 +91,12 @@ func main() {
 	f, err := bobFS.Open(ctx, "dataset.csv")
 	check(err)
 	buf := make([]byte, 256)
-	n, _ := f.Read(ctx, buf)
+	n, err := f.Read(ctx, buf)
+	if err != nil && !errors.Is(err, io.EOF) {
+		check(err)
+	}
 	fmt.Printf("bob reads dataset.csv: %q\n", buf[:n])
-	f.Close(ctx)
+	check(f.Close(ctx))
 
 	// ...but ACCESS shows he cannot write it...
 	granted, err := bobFS.Access(ctx, "dataset.csv", vfs.AccessRead|vfs.AccessModify)

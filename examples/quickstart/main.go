@@ -10,7 +10,9 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 
 	"repro"
@@ -68,7 +70,10 @@ func main() {
 	g, err := fs.Open(ctx, "experiment/results.txt")
 	check(err)
 	buf := make([]byte, 128)
-	n, _ := g.Read(ctx, buf)
+	n, err := g.Read(ctx, buf)
+	if err != nil && !errors.Is(err, io.EOF) {
+		check(err)
+	}
 	fmt.Printf("read back: %s", buf[:n])
 	check(g.Close(ctx))
 

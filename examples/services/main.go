@@ -40,11 +40,16 @@ func main() {
 	defer os.RemoveAll(tmp)
 	caPath := filepath.Join(tmp, "ca.pem")
 	check(ca.SaveCertPEM(caPath))
-	caPEM, _ := os.ReadFile(caPath)
-	admin, _ := ca.IssueUser("admin")
-	alice, _ := ca.IssueUser("alice")
-	dssCred, _ := ca.IssueHost("dss.grid")
-	fssCred, _ := ca.IssueHost("node1.grid")
+	caPEM, err := os.ReadFile(caPath)
+	check(err)
+	admin, err := ca.IssueUser("admin")
+	check(err)
+	alice, err := ca.IssueUser("alice")
+	check(err)
+	dssCred, err := ca.IssueHost("dss.grid")
+	check(err)
+	fssCred, err := ca.IssueHost("node1.grid")
+	check(err)
 
 	// The file server's NFS backend (exported to localhost only).
 	backend := vfs.NewMemFS()
@@ -68,7 +73,8 @@ func main() {
 	})
 	check(err)
 	defer fss.Close()
-	fssL, _ := net.Listen("tcp", "127.0.0.1:0")
+	fssL, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
 	go http.Serve(fssL, fss)
 	fssURL := "http://" + fssL.Addr().String()
 
@@ -79,7 +85,8 @@ func main() {
 		CABundlePEM: string(caPEM),
 	})
 	check(err)
-	dssL, _ := net.Listen("tcp", "127.0.0.1:0")
+	dssL, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
 	go http.Serve(dssL, dss)
 	dssURL := "http://" + dssL.Addr().String()
 	fmt.Println("DSS at", dssURL, "— FSS at", fssURL)
@@ -98,8 +105,10 @@ func main() {
 	certPath := filepath.Join(tmp, "proxy.pem")
 	keyPath := filepath.Join(tmp, "proxy.key")
 	check(proxyCred.SavePEM(certPath, keyPath))
-	certPEM, _ := os.ReadFile(certPath)
-	keyPEM, _ := os.ReadFile(keyPath)
+	certPEM, err := os.ReadFile(certPath)
+	check(err)
+	keyPEM, err := os.ReadFile(keyPath)
+	check(err)
 
 	var res services.ScheduleSessionResponse
 	_, err = services.Call(dssURL, "ScheduleSession", &services.ScheduleSessionRequest{
@@ -124,7 +133,8 @@ func main() {
 	check(err)
 	f, err := fs.Create(ctx, "job-output.dat", 0644)
 	check(err)
-	f.Write(ctx, []byte("computed on the grid\n"))
+	_, err = f.Write(ctx, []byte("computed on the grid\n"))
+	check(err)
 	check(f.Close(ctx))
 	check(fs.Close())
 	fmt.Println("alice's job wrote job-output.dat through the managed session")

@@ -3,7 +3,9 @@ package bench
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -309,10 +311,16 @@ func RunMAB(ctx context.Context, fs FS, cfg MABConfig) (MABResult, error) {
 			if err != nil {
 				continue
 			}
-			n, _ := obj.ReadAt(ctx, buf, 0)
+			n, rerr := obj.ReadAt(ctx, buf, 0)
+			if rerr != nil && !errors.Is(rerr, io.EOF) {
+				obj.Close(ctx)
+				return res, rerr
+			}
 			obj.Close(ctx)
 			if n > 0 {
-				bin.WriteAt(ctx, buf[:n], off)
+				if _, werr := bin.WriteAt(ctx, buf[:n], off); werr != nil {
+					return res, werr
+				}
 				off += int64(n)
 			}
 		}

@@ -21,6 +21,7 @@ func newCache(t *testing.T, capacity int64) *DiskCache {
 func fh(s string) nfs3.FH3 { return nfs3.FH3{Data: []byte(s)} }
 
 func TestBlockRoundTrip(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 1<<20)
 	data := bytes.Repeat([]byte("d"), 1024)
 	if err := c.PutBlock(fh("f1"), 3, data, false); err != nil {
@@ -39,6 +40,7 @@ func TestBlockRoundTrip(t *testing.T) {
 }
 
 func TestShortBlock(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 1<<20)
 	data := []byte("short")
 	c.PutBlock(fh("f"), 0, data, false)
@@ -49,6 +51,7 @@ func TestShortBlock(t *testing.T) {
 }
 
 func TestOverwriteBlock(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 1<<20)
 	c.PutBlock(fh("f"), 0, []byte("old-contents"), false)
 	c.PutBlock(fh("f"), 0, []byte("new"), false)
@@ -59,6 +62,7 @@ func TestOverwriteBlock(t *testing.T) {
 }
 
 func TestEvictionRespectsCapacityAndDirtyPin(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 4*1024) // four blocks
 	blk := bytes.Repeat([]byte("x"), 1024)
 	// Two dirty blocks are pinned.
@@ -80,6 +84,7 @@ func TestEvictionRespectsCapacityAndDirtyPin(t *testing.T) {
 }
 
 func TestDirtyFlushCycle(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 1<<20)
 	blk := bytes.Repeat([]byte("w"), 1024)
 	c.PutBlock(fh("f"), 2, blk, true)
@@ -104,6 +109,7 @@ func TestDirtyFlushCycle(t *testing.T) {
 }
 
 func TestDropFileCancelsDirty(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 1<<20)
 	blk := bytes.Repeat([]byte("t"), 1024)
 	c.PutBlock(fh("tmp"), 0, blk, true)
@@ -125,6 +131,7 @@ func TestDropFileCancelsDirty(t *testing.T) {
 }
 
 func TestAttrCache(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 1<<20)
 	if _, ok := c.GetAttr(fh("f")); ok {
 		t.Fatal("phantom attr")
@@ -146,6 +153,7 @@ func TestAttrCache(t *testing.T) {
 }
 
 func TestAccessCache(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 1<<20)
 	if _, ok := c.GetAccess(fh("f")); ok {
 		t.Fatal("phantom access")
@@ -158,6 +166,7 @@ func TestAccessCache(t *testing.T) {
 }
 
 func TestManyFiles(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 1<<20)
 	for i := 0; i < 50; i++ {
 		key := fh(fmt.Sprintf("file%d", i))
@@ -174,6 +183,7 @@ func TestManyFiles(t *testing.T) {
 }
 
 func TestStatsCounting(t *testing.T) {
+	t.Parallel()
 	c := newCache(t, 1<<20)
 	c.GetBlock(fh("f"), 0) // miss
 	c.PutBlock(fh("f"), 0, []byte("x"), false)

@@ -175,7 +175,13 @@ func (s *Server) Register(r *oncrpc.Server) {
 func hostAllowed(e *Export, addr net.Addr) bool {
 	host := ""
 	if addr != nil {
-		host, _, _ = net.SplitHostPort(addr.String())
+		h, _, err := net.SplitHostPort(addr.String())
+		if err != nil {
+			// Not host:port — in-process transports report opaque
+			// addresses; match against the raw string below.
+			h = ""
+		}
+		host = h
 	}
 	if len(e.AllowedHosts) == 0 {
 		return host == "127.0.0.1" || host == "::1" || host == "" ||

@@ -140,11 +140,17 @@ func (fs *FileSystem) Close() error {
 	}
 	fs.pages.mu.Unlock()
 	ctx := context.Background()
+	var firstErr error
 	for _, key := range fhs {
 		fh := nfs3.FH3{Data: []byte(key)}
-		fs.flushFile(ctx, fh)
+		if err := fs.flushFile(ctx, fh); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return fs.proto.Close()
+	if err := fs.proto.Close(); firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Root returns the root file handle.

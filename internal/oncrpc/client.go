@@ -72,17 +72,26 @@ func (c *Client) defaultCred() OpaqueAuth {
 	return c.cred
 }
 
-// Close tears down the transport and fails all outstanding calls.
+// Close tears down the transport and fails all outstanding calls. If
+// the client had already failed with a transport error, Close reports
+// that error.
 func (c *Client) Close() error {
-	c.fail(ErrClientClosed)
+	if err := c.fail(ErrClientClosed); !errors.Is(err, ErrClientClosed) {
+		return err
+	}
 	return nil
 }
 
-func (c *Client) fail(err error) {
+// fail marks the client broken and wakes all outstanding calls. It
+// returns the client's sticky error — the given err on the first
+// failure, the original error on later ones — so callers can report
+// it without re-reading c.err outside the lock.
+func (c *Client) fail(err error) error {
 	c.mu.Lock()
 	if c.closed {
+		err = c.err
 		c.mu.Unlock()
-		return
+		return err
 	}
 	c.closed = true
 	c.err = err
@@ -93,6 +102,7 @@ func (c *Client) fail(err error) {
 	for _, ch := range pend {
 		close(ch)
 	}
+	return err
 }
 
 func (c *Client) readLoop() {
@@ -163,8 +173,7 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 	err := writeRecord(c.conn, body.Bytes())
 	c.writeMu.Unlock()
 	if err != nil {
-		c.fail(fmt.Errorf("oncrpc: transport write: %w", err))
-		return c.err
+		return c.fail(fmt.Errorf("oncrpc: transport write: %w", err))
 	}
 
 	select {

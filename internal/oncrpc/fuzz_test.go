@@ -14,6 +14,7 @@ import (
 // TestServerRobustAgainstRandomFrames throws random byte frames at a
 // live server: none may crash it or wedge service for proper clients.
 func TestServerRobustAgainstRandomFrames(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	s.Register(testProg, testVers, map[uint32]Handler{
 		procEcho: func(_ context.Context, c *Call) (xdr.Marshaler, AcceptStat) {
@@ -75,6 +76,7 @@ func TestServerRobustAgainstRandomFrames(t *testing.T) {
 // server that answers with malformed records: the call fails but the
 // process does not panic.
 func TestClientRobustAgainstGarbageReplies(t *testing.T) {
+	t.Parallel()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -108,6 +110,7 @@ func TestClientRobustAgainstGarbageReplies(t *testing.T) {
 
 // TestDecodeReplyFuzz feeds random bytes to the reply decoder.
 func TestDecodeReplyFuzz(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 2000; i++ {
 		rec := make([]byte, 4+rng.Intn(128))

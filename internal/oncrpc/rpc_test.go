@@ -89,6 +89,7 @@ func dialTest(t *testing.T, addr net.Addr) *Client {
 }
 
 func TestEcho(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	var out echoArgs
@@ -101,6 +102,7 @@ func TestEcho(t *testing.T) {
 }
 
 func TestNullProcedure(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	if err := c.Call(context.Background(), 0, nil, nil); err != nil {
@@ -109,6 +111,7 @@ func TestNullProcedure(t *testing.T) {
 }
 
 func TestAdd(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	var out u32
@@ -121,6 +124,7 @@ func TestAdd(t *testing.T) {
 }
 
 func TestProcUnavail(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	err := c.Call(context.Background(), 999, nil, nil)
@@ -131,6 +135,7 @@ func TestProcUnavail(t *testing.T) {
 }
 
 func TestProgUnavail(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	conn, err := net.Dial("tcp", addr.String())
 	if err != nil {
@@ -146,6 +151,7 @@ func TestProgUnavail(t *testing.T) {
 }
 
 func TestProgMismatch(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	conn, err := net.Dial("tcp", addr.String())
 	if err != nil {
@@ -161,6 +167,7 @@ func TestProgMismatch(t *testing.T) {
 }
 
 func TestAuthSysCredentialDelivered(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	cred, err := (&AuthSys{MachineName: "compute1", UID: 5001, GID: 100}).Auth()
@@ -178,6 +185,7 @@ func TestAuthSysCredentialDelivered(t *testing.T) {
 }
 
 func TestPerCallCredential(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	cred, _ := (&AuthSys{UID: 7, GID: 7}).Auth()
@@ -191,6 +199,7 @@ func TestPerCallCredential(t *testing.T) {
 }
 
 func TestAuthCheckerRejects(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	s.Register(testProg, testVers, map[uint32]Handler{
 		procEcho: func(_ context.Context, c *Call) (xdr.Marshaler, AcceptStat) {
@@ -230,6 +239,7 @@ func TestAuthCheckerRejects(t *testing.T) {
 }
 
 func TestConcurrentCalls(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	var wg sync.WaitGroup
@@ -255,6 +265,7 @@ func TestConcurrentCalls(t *testing.T) {
 }
 
 func TestPipeliningOverlapsSlowCalls(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	start := time.Now()
@@ -275,6 +286,7 @@ func TestPipeliningOverlapsSlowCalls(t *testing.T) {
 }
 
 func TestSequentialServer(t *testing.T) {
+	t.Parallel()
 	s := NewServer()
 	var inFlight, maxInFlight atomic.Int32
 	s.Sequential = true
@@ -315,6 +327,7 @@ func TestSequentialServer(t *testing.T) {
 }
 
 func TestContextCancellation(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
@@ -334,6 +347,7 @@ func TestContextCancellation(t *testing.T) {
 }
 
 func TestClientCloseFailsPending(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	c := dialTest(t, addr)
 	done := make(chan error, 1)
@@ -351,6 +365,7 @@ func TestClientCloseFailsPending(t *testing.T) {
 }
 
 func TestServerSurvivesGarbageConnection(t *testing.T) {
+	t.Parallel()
 	_, addr := newTestServer(t)
 	conn, err := net.Dial("tcp", addr.String())
 	if err != nil {
@@ -367,6 +382,7 @@ func TestServerSurvivesGarbageConnection(t *testing.T) {
 }
 
 func TestRecordMarkingRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{0, 1, 4, 1000, maxFragmentWrite, maxFragmentWrite + 1, 3 * maxFragmentWrite} {
 		var buf bytes.Buffer
 		p := make([]byte, n)
@@ -390,6 +406,7 @@ func TestRecordMarkingRoundTrip(t *testing.T) {
 }
 
 func TestRecordTooLarge(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // last fragment, absurd length
 	_, err := readRecord(&buf, nil)
@@ -399,6 +416,7 @@ func TestRecordTooLarge(t *testing.T) {
 }
 
 func TestRecordShortRead(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	buf.Write([]byte{0x80, 0, 0, 8, 1, 2}) // claims 8 bytes, has 2
 	_, err := readRecord(&buf, nil)
@@ -408,6 +426,7 @@ func TestRecordShortRead(t *testing.T) {
 }
 
 func TestQuickRecordRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(p []byte) bool {
 		var buf bytes.Buffer
 		if err := writeRecord(&buf, p); err != nil {
@@ -422,6 +441,7 @@ func TestQuickRecordRoundTrip(t *testing.T) {
 }
 
 func TestQuickAuthSysRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(stamp, uid, gid uint32, machine string, gids []uint32) bool {
 		if len(gids) > 16 {
 			gids = gids[:16]

@@ -14,6 +14,7 @@ import (
 )
 
 func TestAtRestCryptRoundTrip(t *testing.T) {
+	t.Parallel()
 	key := bytes.Repeat([]byte{7}, 32)
 	fh := nfs3.FH3{Data: []byte("file-1")}
 	plain := []byte("confidential seismic traces")
@@ -28,6 +29,7 @@ func TestAtRestCryptRoundTrip(t *testing.T) {
 }
 
 func TestAtRestCryptOffsetConsistency(t *testing.T) {
+	t.Parallel()
 	// Encrypting a buffer in one call must equal encrypting it in
 	// arbitrary-offset pieces — the property block-at-a-time flush and
 	// range reads rely on.
@@ -48,6 +50,7 @@ func TestAtRestCryptOffsetConsistency(t *testing.T) {
 }
 
 func TestAtRestCryptPerFileKeys(t *testing.T) {
+	t.Parallel()
 	key := bytes.Repeat([]byte{1}, 32)
 	plain := bytes.Repeat([]byte{0}, 64)
 	c1 := atRestCrypt(key, nfs3.FH3{Data: []byte("a")}, 0, plain)
@@ -58,6 +61,7 @@ func TestAtRestCryptPerFileKeys(t *testing.T) {
 }
 
 func TestQuickAtRestRoundTrip(t *testing.T) {
+	t.Parallel()
 	key := bytes.Repeat([]byte{3}, 32)
 	fh := nfs3.FH3{Data: []byte("q")}
 	f := func(data []byte, offset uint32) bool {
@@ -73,6 +77,7 @@ func TestQuickAtRestRoundTrip(t *testing.T) {
 // verifies the server only ever holds ciphertext while the client
 // round-trips plaintext — in both cached and uncached modes.
 func TestAtRestEndToEnd(t *testing.T) {
+	t.Parallel()
 	for _, mode := range []string{"nocache", "diskcache"} {
 		mode := mode
 		t.Run(mode, func(t *testing.T) {
@@ -156,6 +161,7 @@ func TestAtRestEndToEnd(t *testing.T) {
 // to the key: a second session with a different storage key reads
 // garbage, not plaintext.
 func TestAtRestWrongKeyYieldsGarbage(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{})
 	mountWithKey := func(key []byte) (*nfsclient.FileSystem, *ClientProxy) {
 		cp, err := NewClientProxy(ClientConfig{

@@ -221,7 +221,9 @@ func (p *ClientProxy) register() {
 		},
 		mountd.ProcUmnt: func(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
 			var a mountd.MntArgs
-			call.DecodeArgs(&a)
+			if err := call.DecodeArgs(&a); err != nil {
+				return nil, oncrpc.GarbageArgs
+			}
 			return nil, oncrpc.Success
 		},
 	})

@@ -141,6 +141,7 @@ func (st *testStack) mount(t *testing.T, opt nfsclient.Options) *nfsclient.FileS
 }
 
 func TestSecureEndToEnd(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{})
 	fs := st.mount(t, nfsclient.Options{UID: 1234, GID: 1234})
 	ctx := context.Background()
@@ -175,6 +176,7 @@ func TestSecureEndToEnd(t *testing.T) {
 }
 
 func TestUnmappedUserDenied(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{userCred: nil})
 	// Bob is not in the gridmap: establishing a client proxy session
 	// must fail (the server proxy drops the channel after gridmap
@@ -216,6 +218,7 @@ func (st *testStack) serverProxyAddr(t *testing.T) string {
 }
 
 func TestProxyCertificateSession(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{})
 	proxyCred, err := st.alice.IssueProxy(time.Hour)
 	if err != nil {
@@ -234,6 +237,7 @@ func TestProxyCertificateSession(t *testing.T) {
 }
 
 func TestGfsPlainMode(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{plain: true})
 	fs := st.mount(t, nfsclient.Options{})
 	ctx := context.Background()
@@ -250,6 +254,7 @@ func TestGfsPlainMode(t *testing.T) {
 }
 
 func TestACLFileProtection(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{})
 	fs := st.mount(t, nfsclient.Options{})
 	ctx := context.Background()
@@ -284,6 +289,7 @@ func TestACLFileProtection(t *testing.T) {
 }
 
 func TestFineGrainedACL(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{fineGrained: true})
 	fs := st.mount(t, nfsclient.Options{})
 	ctx := context.Background()
@@ -327,6 +333,7 @@ func TestFineGrainedACL(t *testing.T) {
 }
 
 func TestACLInheritance(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{fineGrained: true})
 	fs := st.mount(t, nfsclient.Options{})
 	ctx := context.Background()
@@ -350,6 +357,7 @@ func TestACLInheritance(t *testing.T) {
 }
 
 func TestACLCacheEffect(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{fineGrained: true})
 	fs := st.mount(t, nfsclient.Options{})
 	ctx := context.Background()
@@ -381,6 +389,7 @@ func newDiskCache(t *testing.T) *cache.DiskCache {
 }
 
 func TestDiskCacheReadPath(t *testing.T) {
+	t.Parallel()
 	dc := newDiskCache(t)
 	st := buildStack(t, stackOpts{diskCache: dc})
 	fs := st.mount(t, nfsclient.Options{CacheBytes: 1}) // client memory cache off
@@ -407,6 +416,7 @@ func TestDiskCacheReadPath(t *testing.T) {
 }
 
 func TestWriteBackCancellation(t *testing.T) {
+	t.Parallel()
 	dc := newDiskCache(t)
 	st := buildStack(t, stackOpts{diskCache: dc})
 	fs := st.mount(t, nfsclient.Options{})
@@ -439,6 +449,7 @@ func TestWriteBackCancellation(t *testing.T) {
 }
 
 func TestWriteBackFlushOnClose(t *testing.T) {
+	t.Parallel()
 	dc := newDiskCache(t)
 	st := buildStack(t, stackOpts{diskCache: dc})
 
@@ -471,6 +482,7 @@ func TestWriteBackFlushOnClose(t *testing.T) {
 }
 
 func TestFlushAllDeliversData(t *testing.T) {
+	t.Parallel()
 	dc := newDiskCache(t)
 	st := buildStack(t, stackOpts{diskCache: dc})
 	// Build a dedicated client proxy we control.
@@ -520,6 +532,7 @@ func TestFlushAllDeliversData(t *testing.T) {
 }
 
 func TestSuiteSelectionPerSession(t *testing.T) {
+	t.Parallel()
 	for _, suite := range []securechan.Suite{securechan.SuiteNullSHA1, securechan.SuiteRC4SHA1, securechan.SuiteAES256SHA1} {
 		st := buildStack(t, stackOpts{suites: []securechan.Suite{suite}})
 		fs := st.mount(t, nfsclient.Options{})
@@ -538,6 +551,7 @@ func TestSuiteSelectionPerSession(t *testing.T) {
 // TestFullProcedureSurface drives the less-travelled NFS procedures
 // through both proxies end to end.
 func TestFullProcedureSurface(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{})
 	fs := st.mount(t, nfsclient.Options{})
 	ctx := context.Background()
@@ -605,6 +619,7 @@ func TestFullProcedureSurface(t *testing.T) {
 // TestMknodRefusedThroughProxy confirms device-node creation is
 // rejected at the proxy layer.
 func TestMknodRefusedThroughProxy(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{})
 	fs := st.mount(t, nfsclient.Options{})
 	// The high-level client never issues MKNOD, so call it raw.
@@ -617,6 +632,7 @@ func TestMknodRefusedThroughProxy(t *testing.T) {
 // TestSessionDNVisible checks the server proxy records the channel
 // identity per session.
 func TestSessionDNVisible(t *testing.T) {
+	t.Parallel()
 	st := buildStack(t, stackOpts{})
 	fs := st.mount(t, nfsclient.Options{})
 	// Traffic must flow before sessions exist.

@@ -18,9 +18,11 @@ func TestServerHandshakeRobustAgainstGarbage(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 8; i++ {
 		a, b := net.Pipe()
+		// Draw the junk before spawning: a lingering goroutine from a
+		// previous iteration must not share the rng.
+		junk := make([]byte, rng.Intn(256)+1)
+		rng.Read(junk)
 		go func() {
-			junk := make([]byte, rng.Intn(256)+1)
-			rng.Read(junk)
 			a.Write(junk)
 			a.Close()
 		}()
@@ -48,12 +50,12 @@ func TestClientHandshakeRobustAgainstGarbage(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	for i := 0; i < 8; i++ {
 		a, b := net.Pipe()
+		junk := make([]byte, rng.Intn(256)+1)
+		rng.Read(junk)
 		go func() {
 			// Swallow the client hello then answer with noise.
 			buf := make([]byte, 4096)
 			b.Read(buf)
-			junk := make([]byte, rng.Intn(256)+1)
-			rng.Read(junk)
 			b.Write(junk)
 			b.Close()
 		}()

@@ -1,0 +1,142 @@
+package vet
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer inspects one package and reports diagnostics.
+type Analyzer interface {
+	Name() string
+	Run(pkg *Package) []Diagnostic
+}
+
+// RunAll applies every analyzer to every package and returns the
+// combined findings sorted by position.
+func RunAll(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			out = append(out, a.Run(pkg)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// IgnoreList holds vetted exceptions loaded from a .sgfsvet-ignore
+// file. Each non-comment line has the form
+//
+//	<analyzer> <path-fragment> <message-fragment...>
+//
+// A diagnostic is suppressed when its analyzer matches (or the entry
+// uses *), the path fragment occurs in its slash-normalized file path,
+// and the rest of the line occurs in its message. Entries are matched
+// by content rather than line number so routine edits do not
+// invalidate them.
+type IgnoreList struct {
+	entries []ignoreEntry
+	used    []bool
+}
+
+type ignoreEntry struct {
+	analyzer string
+	path     string
+	message  string
+	line     int
+}
+
+// LoadIgnore reads an ignore file; a missing file yields an empty
+// list.
+func LoadIgnore(path string) (*IgnoreList, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &IgnoreList{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	il := &IgnoreList{}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%s:%d: ignore entry needs <analyzer> <path> <message>", path, lineNo)
+		}
+		msg := strings.TrimSpace(line[strings.Index(line, fields[1])+len(fields[1]):])
+		il.entries = append(il.entries, ignoreEntry{
+			analyzer: fields[0],
+			path:     fields[1],
+			message:  msg,
+			line:     lineNo,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	il.used = make([]bool, len(il.entries))
+	return il, nil
+}
+
+// Match reports whether d is covered by an ignore entry, recording
+// which entries fired so stale ones can be reported.
+func (il *IgnoreList) Match(d Diagnostic) bool {
+	path := filepath.ToSlash(d.Pos.Filename)
+	for i, e := range il.entries {
+		if e.analyzer != "*" && e.analyzer != d.Analyzer {
+			continue
+		}
+		if !strings.Contains(path, e.path) {
+			continue
+		}
+		if !strings.Contains(d.Message, e.message) {
+			continue
+		}
+		il.used[i] = true
+		return true
+	}
+	return false
+}
+
+// Unused returns the 1-based line numbers of entries that never
+// matched a diagnostic, so the allowlist cannot silently rot.
+func (il *IgnoreList) Unused() []int {
+	var out []int
+	for i, u := range il.used {
+		if !u {
+			out = append(out, il.entries[i].line)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Package lockio is a fixture for the lock-over-io analyzer. Conn's
+// name makes its Read/Write blocking; writeRecord is blocking by name.
+package lockio
+
+import "sync"
+
+type Conn struct{}
+
+func (c *Conn) Read(p []byte) (int, error)  { return 0, nil }
+func (c *Conn) Write(p []byte) (int, error) { return 0, nil }
+
+func writeRecord(c *Conn, b []byte) error { return nil }
+
+type Client struct {
+	mu   sync.Mutex
+	conn *Conn
+}
+
+func (c *Client) deferredHold(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return writeRecord(c.conn, b) // want "c.mu held across blocking call writeRecord"
+}
+
+func (c *Client) releasedFirst(b []byte) error {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return writeRecord(c.conn, b)
+}
+
+func (c *Client) branchReleases(b []byte) error {
+	c.mu.Lock()
+	if len(b) == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	return writeRecord(c.conn, b)
+}
+
+func (c *Client) readWhileHeld(p []byte) {
+	c.mu.Lock()
+	if n, _ := c.conn.Read(p); n > 0 { // want "c.mu held across blocking call c.conn.Read"
+		p = p[:n]
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) goroutineIsFresh(b []byte) {
+	c.mu.Lock()
+	go func() {
+		// Runs without the caller's lock: no diagnostic.
+		writeRecord(c.conn, b)
+	}()
+	c.mu.Unlock()
+}

@@ -1,0 +1,46 @@
+// Package unlockedread is a fixture for the unlocked-field-read
+// analyzer.
+package unlockedread
+
+import "sync"
+
+type Client struct {
+	mu     sync.Mutex
+	err    error
+	closed bool
+	n      int
+	free   int
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	c.err = err
+	c.closed = true
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Client) bareRead() error {
+	return c.err // want "Client.err is written under a mutex elsewhere but read without a lock"
+}
+
+func (c *Client) lockedRead() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// reapLocked follows the repo convention: a *Locked suffix means the
+// caller already holds the mutex.
+func (c *Client) reapLocked() bool {
+	return c.closed
+}
+
+// pendingCount assumes the caller holds c.mu.
+func (c *Client) pendingCount() int {
+	return c.n
+}
+
+// free is never written under the lock, so bare access is fine.
+func (c *Client) setFree(v int) { c.free = v }
+func (c *Client) getFree() int  { return c.free }

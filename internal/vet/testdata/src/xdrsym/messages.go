@@ -1,0 +1,142 @@
+package xdrsym
+
+// Good is fully symmetric: no diagnostic.
+type Good struct {
+	A    uint32
+	B    uint64
+	Name string
+}
+
+func (g *Good) EncodeXDR(e *Encoder) {
+	e.Uint32(g.A)
+	e.Uint64(g.B)
+	e.String(g.Name)
+}
+
+func (g *Good) DecodeXDR(d *Decoder) {
+	g.A = d.Uint32()
+	g.B = d.Uint64()
+	g.Name = d.String()
+}
+
+// Guarded mirrors the repo's status-discriminated results: guard-only
+// branches carry no wire events and both sides compare equal.
+type Guarded struct {
+	Status uint32
+	Size   uint64
+}
+
+func (r *Guarded) EncodeXDR(e *Encoder) {
+	e.Uint32(r.Status)
+	if r.Status != 0 {
+		return
+	}
+	e.Uint64(r.Size)
+}
+
+func (r *Guarded) DecodeXDR(d *Decoder) {
+	r.Status = d.Uint32()
+	if r.Status != 0 {
+		return
+	}
+	r.Size = d.Uint64()
+}
+
+// Item / List exercise the optional-terminated list canonicalization:
+// the encoder's per-item OptionalBegin(true) + trailing
+// OptionalBegin(false) matches the decoder's `for d.OptionalPresent()`.
+type Item struct {
+	ID uint32
+}
+
+type List struct {
+	Count uint32
+	Items []Item
+}
+
+func (l *List) EncodeXDR(e *Encoder) {
+	e.Uint32(l.Count)
+	for i := range l.Items {
+		e.OptionalBegin(true)
+		e.Uint32(l.Items[i].ID)
+	}
+	e.OptionalBegin(false)
+}
+
+func (l *List) DecodeXDR(d *Decoder) {
+	l.Count = d.Uint32()
+	for d.OptionalPresent() {
+		var it Item
+		it.ID = d.Uint32()
+		l.Items = append(l.Items, it)
+	}
+}
+
+// Swapped decodes its fields in the opposite order.
+type Swapped struct {
+	A uint32
+	B uint32
+}
+
+func (s *Swapped) EncodeXDR(e *Encoder) {
+	e.Uint32(s.A)
+	e.Uint32(s.B)
+}
+
+func (s *Swapped) DecodeXDR(d *Decoder) { // want "disagree"
+	s.B = d.Uint32()
+	s.A = d.Uint32()
+}
+
+// WrongPrim writes 64 bits but reads 32.
+type WrongPrim struct {
+	Off uint64
+}
+
+func (w *WrongPrim) EncodeXDR(e *Encoder) {
+	e.Uint64(w.Off)
+}
+
+func (w *WrongPrim) DecodeXDR(d *Decoder) { // want "encoder Uint64"
+	w.Off = uint64(d.Uint32())
+}
+
+// Missing never decodes its last field.
+type Missing struct {
+	A uint32
+	B uint32
+}
+
+func (m *Missing) EncodeXDR(e *Encoder) {
+	e.Uint32(m.A)
+	e.Uint32(m.B)
+}
+
+func (m *Missing) DecodeXDR(d *Decoder) { // want "no decoder counterpart"
+	m.A = d.Uint32()
+}
+
+// Union has an encoder arm the decoder lacks.
+type Union struct {
+	Kind uint32
+	N    uint32
+	S    string
+}
+
+func (u *Union) EncodeXDR(e *Encoder) {
+	e.Uint32(u.Kind)
+	switch u.Kind {
+	case 1:
+		e.Uint32(u.N)
+	case 2:
+		e.String(u.S)
+	}
+}
+
+func (u *Union) DecodeXDR(d *Decoder) { // want "no decoder arm"
+	u.Kind = d.Uint32()
+	switch u.Kind {
+	case 1:
+		u.N = d.Uint32()
+	}
+}

@@ -1,0 +1,123 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnlockedFieldRead flags struct fields that some method writes while
+// holding a mutex but another method reads with no lock held — the
+// exact shape of the oncrpc client bug where CallCred returned `c.err`
+// after fail() had published it under c.mu. A field with at least one
+// locked write is treated as lock-guarded; every bare read of it in a
+// method of the same type is reported.
+//
+// Methods documented as running under the caller's lock (doc comment
+// containing "hold", e.g. "caller must hold mu") are skipped, as are
+// fields of sync/atomic types, which carry their own synchronization.
+type UnlockedFieldRead struct{}
+
+// Name implements Analyzer.
+func (UnlockedFieldRead) Name() string { return "unlocked-field-read" }
+
+type fieldAccess struct {
+	typeName string
+	field    string
+	write    bool
+	locked   bool
+	pos      token.Pos
+	method   string
+}
+
+// Run implements Analyzer.
+func (UnlockedFieldRead) Run(pkg *Package) []Diagnostic {
+	var accesses []fieldAccess
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			if callerHoldsLock(fd) || strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			recvType := recvTypeName(fd.Recv.List[0].Type)
+			if recvType == "" || len(fd.Recv.List[0].Names) != 1 {
+				continue
+			}
+			recvObj := pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			w := &lockWalker{pkg: pkg}
+			w.onAccess = func(sel *ast.SelectorExpr, write bool, held map[string]token.Pos) {
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || pkg.Info.Uses[id] != recvObj {
+					return
+				}
+				selection, ok := pkg.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return
+				}
+				if selfSynchronized(selection.Obj().Type()) {
+					return
+				}
+				accesses = append(accesses, fieldAccess{
+					typeName: recvType,
+					field:    sel.Sel.Name,
+					write:    write,
+					locked:   len(held) > 0,
+					pos:      sel.Pos(),
+					method:   fd.Name.Name,
+				})
+			}
+			w.walkBody(fd.Body)
+		}
+	}
+
+	guarded := make(map[string]bool)
+	for _, a := range accesses {
+		if a.write && a.locked {
+			guarded[a.typeName+"."+a.field] = true
+		}
+	}
+	var diags []Diagnostic
+	for _, a := range accesses {
+		if a.write || a.locked || !guarded[a.typeName+"."+a.field] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "unlocked-field-read",
+			Pos:      pkg.Fset.Position(a.pos),
+			Message: fmt.Sprintf("%s.%s is written under a mutex elsewhere but read without a lock in %s",
+				a.typeName, a.field, a.method),
+		})
+	}
+	return diags
+}
+
+// callerHoldsLock reports whether the method's doc comment declares a
+// locking precondition ("caller must hold c.mu" and variants).
+func callerHoldsLock(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	return strings.Contains(strings.ToLower(fd.Doc.Text()), "hold")
+}
+
+// selfSynchronized reports whether the field's type synchronizes its
+// own access: sync primitives and sync/atomic values.
+func selfSynchronized(t types.Type) bool {
+	named := namedType(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,185 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+// runFixture loads testdata/src/<name>, runs one analyzer over it, and
+// checks the diagnostics against `// want "substr"` comments: every
+// diagnostic must land on a line carrying a matching expectation and
+// every expectation must be consumed.
+func runFixture(t *testing.T, name string, a Analyzer) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture does not typecheck: %v", terr)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	want := make(map[key][]string)
+	expectations := 0
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					k := key{pos.Filename, pos.Line}
+					want[k] = append(want[k], m[1])
+					expectations++
+				}
+			}
+		}
+	}
+	if expectations == 0 {
+		t.Fatalf("fixture %s declares no expectations", name)
+	}
+
+	for _, d := range RunAll([]*Package{pkg}, []Analyzer{a}) {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, sub := range want[k] {
+			if strings.Contains(d.Message, sub) {
+				want[k] = append(want[k][:i], want[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, subs := range want {
+		for _, sub := range subs {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", k.file, k.line, sub)
+		}
+	}
+}
+
+func TestXDRSymmetry(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "xdrsym", XDRSymmetry{})
+}
+
+func TestLockOverIO(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "lockio", LockOverIO{})
+}
+
+func TestUnlockedFieldRead(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "unlockedread", UnlockedFieldRead{})
+}
+
+func TestSwallowedError(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "swallowederr", SwallowedError{})
+}
+
+func TestLockOverIOPackageFilter(t *testing.T) {
+	t.Parallel()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "lockio"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := LockOverIO{Packages: []string{"some/other/pkg"}}
+	if diags := a.Run(pkg); len(diags) != 0 {
+		t.Fatalf("filtered analyzer still reported %d diagnostics", len(diags))
+	}
+}
+
+func TestIgnoreList(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, ".sgfsvet-ignore")
+	content := "# comment\n" +
+		"swallowed-error internal/foo result of x.Close\n" +
+		"* internal/bar anything at all\n" +
+		"lock-over-io never/matches nothing here\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	il, err := LoadIgnore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(analyzer, file, msg string) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer, Message: msg}
+		d.Pos.Filename = file
+		return d
+	}
+	if !il.Match(mk("swallowed-error", "/repo/internal/foo/a.go", "result of x.Close includes an error")) {
+		t.Error("expected analyzer+path+message match")
+	}
+	if !il.Match(mk("lock-over-io", "/repo/internal/bar/b.go", "anything at all, really")) {
+		t.Error("expected wildcard analyzer match")
+	}
+	if il.Match(mk("lock-over-io", "/repo/internal/foo/a.go", "result of x.Close includes an error")) {
+		t.Error("analyzer mismatch must not match")
+	}
+	if il.Match(mk("swallowed-error", "/repo/internal/foo/a.go", "different message")) {
+		t.Error("message mismatch must not match")
+	}
+	unused := il.Unused()
+	if len(unused) != 1 || unused[0] != 4 {
+		t.Errorf("Unused() = %v, want [4]", unused)
+	}
+
+	if _, err := LoadIgnore(filepath.Join(dir, "absent")); err != nil {
+		t.Errorf("missing ignore file should load as empty, got %v", err)
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("too few\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIgnore(bad); err == nil {
+		t.Error("malformed entry should be rejected")
+	}
+}
+
+func TestPackageDirsSkipsTestdata(t *testing.T) {
+	t.Parallel()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := PackageDirs(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("PackageDirs included testdata dir %s", d)
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("PackageDirs found no packages")
+	}
+}

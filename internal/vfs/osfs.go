@@ -350,10 +350,15 @@ func (f *OSFS) Create(dir Handle, name string, attr SetAttr, exclusive bool) (Ha
 		return Handle{}, Attr{}, mapOSError(err)
 	}
 	if attr.Size != nil {
-		file.Truncate(int64(*attr.Size))
+		if terr := file.Truncate(int64(*attr.Size)); terr != nil {
+			file.Close()
+			return Handle{}, Attr{}, mapOSError(terr)
+		}
 	}
 	info, err := file.Stat()
-	file.Close()
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return Handle{}, Attr{}, mapOSError(err)
 	}

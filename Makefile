@@ -1,18 +1,25 @@
 GO ?= go
 
-.PHONY: build test vet race sgfs-vet check
+.PHONY: build test vet race chaos sgfs-vet check
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 600s ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -count=1 ./...
+	$(GO) test -race -count=1 -timeout 600s ./...
+
+# Fault-injection suite: link cuts, stalls, and dial flakiness against
+# the reconnecting channel, the RPC layer, and the proxy stack
+# (including the mid-workload link-killer scenario).
+chaos:
+	$(GO) test -race -count=1 -timeout 300s -run 'Chaos|Fault|Reconnect|MidStream|TemporaryAccept|Recovery' \
+		./internal/netem/ ./internal/oncrpc/ ./internal/proxy/
 
 # Repo-specific analyzers (xdr-symmetry, lock-over-io,
 # unlocked-field-read, swallowed-error). Exceptions live in
@@ -21,4 +28,4 @@ sgfs-vet:
 	$(GO) run ./cmd/sgfs-vet ./...
 
 # The CI gate: everything that must be green before merging.
-check: build vet race sgfs-vet
+check: build vet race chaos sgfs-vet

@@ -76,6 +76,14 @@ type StackConfig struct {
 	Sequential bool
 	// RekeyInterval enables periodic renegotiation (ablation).
 	RekeyInterval time.Duration
+	// Recovery, when non-nil, makes the client proxy's WAN channel
+	// fault tolerant (reconnect + idempotent replay + degraded cached
+	// reads) — the configuration chaos benchmarks run under injected
+	// link failures.
+	Recovery *proxy.RecoveryConfig
+	// Faulter, when non-nil, interposes fault injection on the WAN
+	// link between the client side and the server proxy.
+	Faulter *netem.Faulter
 }
 
 // Stack is a fully assembled file system deployment.
@@ -259,6 +267,9 @@ func buildProxyStack(st *Stack, cfg StackConfig, nfsAddr, exportPath string, wan
 
 	// The WAN link sits between the client side and the server proxy.
 	serverDial := netem.Dialer(dialTo(spAddr), wan)
+	if cfg.Faulter != nil {
+		serverDial = cfg.Faulter.Dialer(serverDial)
+	}
 
 	if cfg.Setup == SetupGFSSSH {
 		// Interpose the SSH tunnel: client proxy -> tunnel client ->
@@ -296,6 +307,7 @@ func buildProxyStack(st *Stack, cfg StackConfig, nfsAddr, exportPath string, wan
 		ExportPath:    exportPath,
 		Meter:         st.ClientMeter,
 		RekeyInterval: cfg.RekeyInterval,
+		Recovery:      cfg.Recovery,
 	}
 	if cfg.DiskCache {
 		dir := cfg.DiskCacheDir

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -106,6 +107,62 @@ func (s *Sampler) Stop() []Window {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.windows
+}
+
+// ChannelStats counts fault-tolerance events on a WAN transport: how
+// often the link dropped, how often it was re-established, how many
+// calls were replayed or refused, and how much traffic the degraded
+// (disconnected) mode absorbed from the client-side disk cache. All
+// counters are atomic; a ChannelStats may be shared by the transport
+// and the proxy layered on top of it.
+type ChannelStats struct {
+	// Disconnects counts transport failures observed on an
+	// established session.
+	Disconnects atomic.Uint64
+	// Reconnects counts successful session re-establishments
+	// (dial + handshake + mount).
+	Reconnects atomic.Uint64
+	// ReconnectFailures counts re-establishment rounds that exhausted
+	// their retry budget.
+	ReconnectFailures atomic.Uint64
+	// Replays counts idempotent calls transparently re-issued on a new
+	// session after a transport failure.
+	Replays atomic.Uint64
+	// NonIdempotentFailures counts calls refused back to the caller
+	// because the transport failed while a non-replayable op was in
+	// flight.
+	NonIdempotentFailures atomic.Uint64
+	// Timeouts counts per-attempt deadlines that fired (WAN stalls
+	// converted to errors).
+	Timeouts atomic.Uint64
+	// DegradedReads counts READ/GETATTR operations served entirely
+	// from the local disk cache while the channel was down.
+	DegradedReads atomic.Uint64
+}
+
+// ChannelSnapshot is a plain-value copy of ChannelStats.
+type ChannelSnapshot struct {
+	Disconnects           uint64
+	Reconnects            uint64
+	ReconnectFailures     uint64
+	Replays               uint64
+	NonIdempotentFailures uint64
+	Timeouts              uint64
+	DegradedReads         uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters for
+// reporting (each counter is read atomically).
+func (s *ChannelStats) Snapshot() ChannelSnapshot {
+	return ChannelSnapshot{
+		Disconnects:           s.Disconnects.Load(),
+		Reconnects:            s.Reconnects.Load(),
+		ReconnectFailures:     s.ReconnectFailures.Load(),
+		Replays:               s.Replays.Load(),
+		NonIdempotentFailures: s.NonIdempotentFailures.Load(),
+		Timeouts:              s.Timeouts.Load(),
+		DegradedReads:         s.DegradedReads.Load(),
+	}
 }
 
 // ProcessCPU returns the process's cumulative user and system CPU

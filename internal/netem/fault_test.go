@@ -1,0 +1,159 @@
+package netem
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestFaultResetAtByteOffset(t *testing.T) {
+	t.Parallel()
+	f := NewFaulter()
+	f.SetPlan(FaultPlan{CutAfterBytes: 1024, Mode: FaultReset})
+	c1, c2 := net.Pipe()
+	w := f.Wrap(c1)
+	defer w.Close()
+	defer c2.Close()
+
+	writeErr := make(chan error, 1)
+	go func() {
+		chunk := make([]byte, 256)
+		for {
+			if _, err := w.Write(chunk); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+	}()
+
+	got := 0
+	buf := make([]byte, 256)
+	for {
+		n, err := c2.Read(buf)
+		got += n
+		if err != nil {
+			break
+		}
+	}
+	if got < 1024 {
+		t.Fatalf("peer received %d bytes before cut, want >= 1024", got)
+	}
+	select {
+	case err := <-writeErr:
+		if err == nil {
+			t.Fatal("writer did not observe the cut")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer still running after cut")
+	}
+	if st := f.Stats(); st.Cuts != 1 {
+		t.Fatalf("cuts = %d, want 1", st.Cuts)
+	}
+}
+
+func TestFaultStallBlackholesReads(t *testing.T) {
+	t.Parallel()
+	f := NewFaulter()
+	c1, c2 := net.Pipe()
+	w := f.Wrap(c1)
+	defer c2.Close()
+
+	// Data flows before the stall.
+	go c2.Write([]byte("before"))
+	buf := make([]byte, 16)
+	n, err := w.Read(buf)
+	if err != nil || string(buf[:n]) != "before" {
+		t.Fatalf("pre-stall read: %q, %v", buf[:n], err)
+	}
+
+	f.CutAll(FaultStall)
+
+	// A stalled link delivers nothing and reports nothing, even when
+	// the peer keeps writing.
+	res := make(chan error, 1)
+	go func() {
+		_, err := w.Read(buf)
+		res <- err
+	}()
+	go c2.Write([]byte("lost"))
+	select {
+	case err := <-res:
+		t.Fatalf("read returned during stall: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Closing the connection finally surfaces the cut.
+	w.Close()
+	select {
+	case err := <-res:
+		if !errors.Is(err, ErrCut) {
+			t.Fatalf("post-close error = %v, want ErrCut", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read still blocked after close")
+	}
+	if st := f.Stats(); st.Cuts != 1 || st.Live != 0 {
+		t.Fatalf("stats = %+v, want 1 cut, 0 live", st)
+	}
+}
+
+func TestFaultCutAfterDuration(t *testing.T) {
+	t.Parallel()
+	f := NewFaulter()
+	f.SetPlan(FaultPlan{CutAfter: 20 * time.Millisecond, Mode: FaultReset})
+	c1, c2 := net.Pipe()
+	w := f.Wrap(c1)
+	defer w.Close()
+	defer c2.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Read(make([]byte, 8))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("timed cut produced no error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed cut never fired")
+	}
+}
+
+func TestFaultDialFlakiness(t *testing.T) {
+	t.Parallel()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	f := NewFaulter()
+	dial := f.Dialer(func() (net.Conn, error) { return net.Dial("tcp", l.Addr().String()) })
+	f.FailNextDials(2)
+	for i := 0; i < 2; i++ {
+		if _, err := dial(); !errors.Is(err, ErrDialFault) {
+			t.Fatalf("dial %d: err = %v, want ErrDialFault", i, err)
+		}
+	}
+	c, err := dial()
+	if err != nil {
+		t.Fatalf("dial after flaky window: %v", err)
+	}
+	c.Close()
+	st := f.Stats()
+	if st.Dials != 3 || st.DialsFailed != 2 {
+		t.Fatalf("stats = %+v, want 3 dials / 2 failed", st)
+	}
+}

@@ -16,6 +16,23 @@ import (
 // underlying transport fails.
 var ErrClientClosed = errors.New("oncrpc: client closed")
 
+// TransportError marks an error that broke the client's transport
+// (as opposed to an RPC-level rejection or a protocol decode error).
+// A fault-tolerant layer can test for it with errors.As to decide
+// whether re-dialing the session could help.
+type TransportError struct{ Err error }
+
+func (e *TransportError) Error() string { return "oncrpc: transport: " + e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsTransportError reports whether err indicates transport failure —
+// either a tagged read/write error or the sticky closed state a
+// failed client hands to late callers.
+func IsTransportError(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te) || errors.Is(err, ErrClientClosed)
+}
+
 // Client is a connection-oriented ONC RPC client bound to one program
 // and version on a single transport. It is safe for concurrent use:
 // multiple goroutines may issue calls simultaneously and replies are
@@ -32,6 +49,7 @@ type Client struct {
 	pending map[uint32]chan []byte
 	err     error // sticky transport error
 	closed  bool
+	done    chan struct{} // closed when the client fails or is closed
 
 	xid atomic.Uint32
 
@@ -53,10 +71,23 @@ func NewClient(conn net.Conn, prog, vers uint32) *Client {
 		conn:    conn,
 		pending: make(map[uint32]chan []byte),
 		cred:    AuthNone,
+		done:    make(chan struct{}),
 	}
 	c.xid.Store(rand.Uint32())
 	go c.readLoop()
 	return c
+}
+
+// Done returns a channel closed when the client stops working —
+// transport failure or Close. Err then reports why.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err returns the sticky error of a failed client, or nil while it is
+// healthy.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // SetCred installs the default credential used by Call.
@@ -97,6 +128,7 @@ func (c *Client) fail(err error) error {
 	c.err = err
 	pend := c.pending
 	c.pending = nil
+	close(c.done)
 	c.mu.Unlock()
 	c.conn.Close()
 	for _, ch := range pend {
@@ -110,11 +142,11 @@ func (c *Client) readLoop() {
 	for {
 		rec, err := readRecord(c.conn, buf)
 		if err != nil {
-			c.fail(fmt.Errorf("oncrpc: transport read: %w", err))
+			c.fail(&TransportError{Err: fmt.Errorf("read: %w", err)})
 			return
 		}
 		if len(rec) < 4 {
-			c.fail(errors.New("oncrpc: short reply record"))
+			c.fail(&TransportError{Err: errors.New("short reply record")})
 			return
 		}
 		xid := uint32(rec[0])<<24 | uint32(rec[1])<<16 | uint32(rec[2])<<8 | uint32(rec[3])
@@ -173,7 +205,7 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 	err := writeRecord(c.conn, body.Bytes())
 	c.writeMu.Unlock()
 	if err != nil {
-		return c.fail(fmt.Errorf("oncrpc: transport write: %w", err))
+		return c.fail(&TransportError{Err: fmt.Errorf("write: %w", err)})
 	}
 
 	select {

@@ -7,9 +7,22 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/xdr"
 )
+
+// IsTemporaryAcceptError reports whether an Accept error is transient
+// (timeout or kernel-reported temporary condition such as EMFILE or
+// ECONNABORTED) and worth retrying after a backoff.
+func IsTemporaryAcceptError(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
+}
 
 // Cred is the authenticated caller identity presented with a call, as
 // seen by a handler. For AUTH_SYS credentials the parsed body is
@@ -130,11 +143,35 @@ func (s *Server) Serve(l net.Listener) error {
 		delete(s.listeners, l)
 		s.lnMu.Unlock()
 	}()
+	var tempDelay time.Duration // how long to sleep on accept failure
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			// Temporary accept failures (EMFILE, ECONNABORTED, …) must
+			// not tear the listener down: back off and retry, net/http
+			// style, with a capped exponential delay.
+			if IsTemporaryAcceptError(err) {
+				if tempDelay == 0 {
+					tempDelay = 5 * time.Millisecond
+				} else {
+					tempDelay *= 2
+				}
+				if max := 1 * time.Second; tempDelay > max {
+					tempDelay = max
+				}
+				s.logf("oncrpc: accept error: %v; retrying in %v", err, tempDelay)
+				time.Sleep(tempDelay)
+				s.lnMu.Lock()
+				closed := s.closed
+				s.lnMu.Unlock()
+				if closed {
+					return errors.New("oncrpc: server closed")
+				}
+				continue
+			}
 			return err
 		}
+		tempDelay = 0
 		s.lnMu.Lock()
 		if s.closed {
 			s.lnMu.Unlock()

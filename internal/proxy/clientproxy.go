@@ -1,9 +1,12 @@
 package proxy
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 
 	"time"
 
@@ -16,6 +19,45 @@ import (
 	"repro/internal/vfs"
 	"repro/internal/xdr"
 )
+
+// RecoveryConfig enables the fault-tolerant WAN channel: when set, the
+// client proxy's upstream connection is wrapped in a reconnecting RPC
+// transport that re-dials with exponential backoff after link failure,
+// re-runs the secure-channel handshake and MOUNT, replays idempotent
+// in-flight calls, and bounds every upstream operation with a
+// deadline so WAN stalls become timeouts instead of hangs.
+type RecoveryConfig struct {
+	// MaxAttempts bounds dial attempts per reconnect round and issue
+	// attempts per call (default 4).
+	MaxAttempts int
+	// BaseDelay/MaxDelay shape the jittered exponential backoff
+	// between attempts (defaults 50ms / 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// AttemptTimeout bounds each call attempt and each session
+	// establishment (default 15s).
+	AttemptTimeout time.Duration
+	// OpTimeout bounds a whole upstream operation across all retries
+	// (default 60s).
+	OpTimeout time.Duration
+	// Stats, when non-nil, accumulates reconnect/replay/degraded-mode
+	// counters.
+	Stats *metrics.ChannelStats
+}
+
+func (r *RecoveryConfig) attemptTimeout() time.Duration {
+	if r.AttemptTimeout > 0 {
+		return r.AttemptTimeout
+	}
+	return 15 * time.Second
+}
+
+func (r *RecoveryConfig) opTimeout() time.Duration {
+	if r.OpTimeout > 0 {
+		return r.OpTimeout
+	}
+	return 60 * time.Second
+}
 
 // ClientConfig configures a client-side proxy.
 type ClientConfig struct {
@@ -41,76 +83,166 @@ type ClientConfig struct {
 	// Meter, when non-nil, accumulates the proxy's processing time
 	// (client-side series of Figure 5).
 	Meter *metrics.Meter
+	// Recovery, when non-nil, makes the upstream channel fault
+	// tolerant (reconnect, replay, degraded disconnected reads). Nil
+	// keeps the paper's single-shot session: the first link failure
+	// ends it.
+	Recovery *RecoveryConfig
+}
+
+// upstream is the client proxy's channel to the server-side proxy:
+// either a plain single-shot RPC client or the reconnecting transport.
+type upstream interface {
+	Call(ctx context.Context, proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) error
+	Close() error
 }
 
 // ClientProxy is the client-side SGFS proxy: the local NFS client
 // mounts it as if it were the file server.
 type ClientProxy struct {
-	cfg  ClientConfig
-	rpc  *oncrpc.Server
-	up   *oncrpc.Client
-	conn net.Conn
-	root nfs3.FH3
+	cfg ClientConfig
+	rpc *oncrpc.Server
+	up  upstream
+	rec *oncrpc.ReconnectClient // == up when cfg.Recovery != nil
+
+	mu       sync.Mutex
+	conn     net.Conn // transport of the current session
+	root     nfs3.FH3
+	haveRoot bool
 }
 
 // NewClientProxy establishes the channel to the server-side proxy,
 // mounts the export through it, and returns a proxy ready to serve
 // the local client.
 func NewClientProxy(cfg ClientConfig) (*ClientProxy, error) {
-	raw, err := cfg.ServerDial()
+	p := &ClientProxy{
+		cfg: cfg,
+		rpc: oncrpc.NewServer(),
+	}
+	// Establish the first session synchronously so misconfiguration
+	// (bad export, refused credential) fails here, not on first use.
+	first, err := p.dialSession(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if r := cfg.Recovery; r != nil {
+		p.rec = oncrpc.NewReconnectClient(first, p.dialSession, oncrpc.ReconnectOpts{
+			MaxAttempts:    r.MaxAttempts,
+			BaseDelay:      r.BaseDelay,
+			MaxDelay:       r.MaxDelay,
+			AttemptTimeout: r.attemptTimeout(),
+			Idempotent:     nfs3Idempotent,
+			Stats:          r.Stats,
+		})
+		p.up = p.rec
+	} else {
+		p.up = first
+	}
+	p.register()
+	return p, nil
+}
+
+// dialSession establishes one complete upstream session: transport
+// dial, optional secure-channel handshake, and MOUNT re-establishment
+// through a dedicated short-lived channel (the NFS and MOUNT programs
+// of the server proxy share one transport; MOUNT needs its own RPC
+// client for the program binding). It is the reconnect layer's session
+// factory, so everything here is re-runnable.
+func (p *ClientProxy) dialSession(ctx context.Context) (*oncrpc.Client, error) {
+	raw, err := p.cfg.ServerDial()
 	if err != nil {
 		return nil, fmt.Errorf("proxy: dial server proxy: %w", err)
 	}
 	var conn net.Conn = raw
-	if cfg.Channel != nil {
-		sc, err := securechan.Client(raw, cfg.Channel)
+	if p.cfg.Channel != nil {
+		sc, err := securechan.Client(raw, p.cfg.Channel)
 		if err != nil {
+			raw.Close()
 			return nil, fmt.Errorf("proxy: secure channel: %w", err)
 		}
-		if cfg.RekeyInterval > 0 {
-			sc.StartAutoRekey(cfg.RekeyInterval)
+		if p.cfg.RekeyInterval > 0 {
+			sc.StartAutoRekey(p.cfg.RekeyInterval)
 		}
 		conn = sc
 	}
-	p := &ClientProxy{
-		cfg:  cfg,
-		rpc:  oncrpc.NewServer(),
-		conn: conn,
-	}
-
-	// The NFS and MOUNT programs of the server proxy share one
-	// transport; MOUNT needs its own RPC client (program binding).
-	// Issue the mount through a dedicated short-lived channel.
-	mraw, err := cfg.ServerDial()
+	root, err := p.mountViaServer(ctx)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
+	p.mu.Lock()
+	if p.haveRoot && !bytes.Equal(root.Data, p.root.Data) {
+		// The server proxy handed out a different export root across a
+		// reconnect: cached handles would dangle, so refuse the session.
+		p.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("proxy: export root changed across reconnect")
+	}
+	p.root = root
+	p.haveRoot = true
+	p.conn = conn
+	p.mu.Unlock()
+	return oncrpc.NewClient(conn, nfs3.Program, nfs3.Version), nil
+}
+
+// mountViaServer issues MOUNT through its own connection and returns
+// the export root handle.
+func (p *ClientProxy) mountViaServer(ctx context.Context) (nfs3.FH3, error) {
+	mraw, err := p.cfg.ServerDial()
+	if err != nil {
+		return nfs3.FH3{}, err
+	}
 	var mconn net.Conn = mraw
-	if cfg.Channel != nil {
-		sc, err := securechan.Client(mraw, cfg.Channel)
+	if p.cfg.Channel != nil {
+		sc, err := securechan.Client(mraw, p.cfg.Channel)
 		if err != nil {
-			conn.Close()
-			return nil, err
+			mraw.Close()
+			return nfs3.FH3{}, err
 		}
 		mconn = sc
 	}
 	mc := oncrpc.NewClient(mconn, mountd.Program, mountd.Version)
+	defer mc.Close()
 	var mres mountd.MntRes
-	err = mc.Call(context.Background(), mountd.ProcMnt, &mountd.MntArgs{Path: cfg.ExportPath}, &mres)
-	mc.Close()
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("proxy: mount via server proxy: %w", err)
+	if err := mc.Call(ctx, mountd.ProcMnt, &mountd.MntArgs{Path: p.cfg.ExportPath}, &mres); err != nil {
+		return nfs3.FH3{}, fmt.Errorf("proxy: mount via server proxy: %w", err)
 	}
 	if mres.Status != mountd.MntOK {
-		conn.Close()
-		return nil, fmt.Errorf("proxy: mount refused: %w", vfs.Errno(mres.Status))
+		return nfs3.FH3{}, fmt.Errorf("proxy: mount refused: %w", vfs.Errno(mres.Status))
 	}
-	p.root = mres.FH
-	p.up = oncrpc.NewClient(conn, nfs3.Program, nfs3.Version)
-	p.register()
-	return p, nil
+	return mres.FH, nil
+}
+
+// nfs3Idempotent classifies the NFSv3 procedures that are safe to
+// replay on a fresh session after a transport failure: pure reads and
+// COMMIT (re-committing already-stable data is harmless). Mutating
+// namespace ops (CREATE, REMOVE, RENAME, LINK, …) and WRITE are
+// refused back to the caller instead — the proxy cannot know whether
+// the lost call executed. (FlushAll makes its own finer-grained
+// decision for FILE_SYNC writes; see there.)
+func nfs3Idempotent(proc uint32) bool {
+	switch proc {
+	case nfs3.ProcNull, nfs3.ProcGetAttr, nfs3.ProcLookup, nfs3.ProcAccess,
+		nfs3.ProcReadLink, nfs3.ProcRead, nfs3.ProcReadDir, nfs3.ProcReadDirPlus,
+		nfs3.ProcFSStat, nfs3.ProcFSInfo, nfs3.ProcPathConf, nfs3.ProcCommit:
+		return true
+	}
+	return false
+}
+
+// degraded reports whether the proxy is in disconnected operation:
+// recovery is enabled but the channel is currently down. Cached reads
+// keep being served; see the read/getattr handlers.
+func (p *ClientProxy) degraded() bool {
+	return p.rec != nil && !p.rec.Connected()
+}
+
+// countDegraded bumps the degraded-read counter when recovery metrics
+// are wired up.
+func (p *ClientProxy) countDegraded() {
+	if r := p.cfg.Recovery; r != nil && r.Stats != nil {
+		r.Stats.DegradedReads.Add(1)
+	}
 }
 
 // Serve accepts local client connections until Close.
@@ -129,10 +261,23 @@ func (p *ClientProxy) Close() error {
 	return err
 }
 
-// Channel returns the secure channel, when one is in use.
+// Channel returns the current session's secure channel, when one is
+// in use. With recovery enabled the channel changes identity across
+// reconnects.
 func (p *ClientProxy) Channel() (*securechan.Conn, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	sc, ok := p.conn.(*securechan.Conn)
 	return sc, ok
+}
+
+// ChannelStats returns the recovery counters, when recovery metrics
+// are configured.
+func (p *ClientProxy) ChannelStats() (metrics.ChannelSnapshot, bool) {
+	if r := p.cfg.Recovery; r != nil && r.Stats != nil {
+		return r.Stats.Snapshot(), true
+	}
+	return metrics.ChannelSnapshot{}, false
 }
 
 // CacheStats returns disk cache statistics, when caching is enabled.
@@ -176,7 +321,15 @@ func (p *ClientProxy) FlushAll(ctx context.Context) error {
 			}
 			args := &nfs3.WriteArgs{Obj: fh, Offset: idx * bs, Count: uint32(len(data)), Stable: nfs3.FileSync, Data: data}
 			var res nfs3.WriteRes
-			if err := p.upCall(ctx, nfs3.ProcWrite, args, &res); err != nil {
+			err := p.upCall(ctx, nfs3.ProcWrite, args, &res)
+			if errors.Is(err, oncrpc.ErrNonIdempotentReplay) {
+				// The generic channel refuses to replay WRITE, but a
+				// flush write is FILE_SYNC of identical bytes at an
+				// absolute offset: re-executing it is harmless. Retry
+				// once on the re-established session.
+				err = p.upCall(ctx, nfs3.ProcWrite, args, &res)
+			}
+			if err != nil {
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -196,8 +349,16 @@ func (p *ClientProxy) FlushAll(ctx context.Context) error {
 
 // upCall issues an upstream RPC, crediting the wait back to the meter
 // so metered handler time approximates local processing (the paper's
-// proxy CPU, Figures 5/6) rather than wall-clock.
+// proxy CPU, Figures 5/6) rather than wall-clock. With recovery
+// enabled every operation carries a deadline covering all retry
+// attempts, so a dead WAN link turns into a bounded error instead of
+// an indefinite hang.
 func (p *ClientProxy) upCall(ctx context.Context, proc uint32, args xdr.Marshaler, res xdr.Unmarshaler) error {
+	if r := p.cfg.Recovery; r != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opTimeout())
+		defer cancel()
+	}
 	if p.cfg.Meter == nil {
 		return p.up.Call(ctx, proc, args, res)
 	}
@@ -217,7 +378,10 @@ func (p *ClientProxy) register() {
 			if a.Path != p.cfg.ExportPath {
 				return &mountd.MntRes{Status: mountd.MntNoEnt}, oncrpc.Success
 			}
-			return &mountd.MntRes{Status: mountd.MntOK, FH: p.root, Flavors: []uint32{oncrpc.AuthFlavorSys}}, oncrpc.Success
+			p.mu.Lock()
+			root := p.root
+			p.mu.Unlock()
+			return &mountd.MntRes{Status: mountd.MntOK, FH: root, Flavors: []uint32{oncrpc.AuthFlavorSys}}, oncrpc.Success
 		},
 		mountd.ProcUmnt: func(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {
 			var a mountd.MntArgs
@@ -345,6 +509,11 @@ func (p *ClientProxy) getattr(ctx context.Context, call *oncrpc.Call) (xdr.Marsh
 	dc := p.cfg.DiskCache
 	if dc != nil {
 		if attr, ok := dc.GetAttr(a.Obj); ok {
+			if p.degraded() {
+				// Disconnected operation: the session attr cache keeps
+				// answering while the link is down (§cache).
+				p.countDegraded()
+			}
 			return &nfs3.GetAttrRes{Status: nfs3.OK, Attr: attr}, oncrpc.Success
 		}
 	}
@@ -460,6 +629,7 @@ func (p *ClientProxy) read(ctx context.Context, call *oncrpc.Call) (xdr.Marshale
 		return &res, oncrpc.Success
 	}
 
+	deg := p.degraded() // snapshot: did this read start while the link was down?
 	size, stat := p.cachedSize(ctx, a.Obj)
 	if stat != nfs3.OK {
 		return &nfs3.ReadRes{Status: stat}, oncrpc.Success
@@ -496,6 +666,11 @@ func (p *ClientProxy) read(ctx context.Context, call *oncrpc.Call) (xdr.Marshale
 		off += n
 	}
 	eof := a.Offset+uint64(len(out)) >= size
+	if deg {
+		// The read was satisfied while the link was down: disconnected
+		// operation served it from the disk cache.
+		p.countDegraded()
+	}
 	res := &nfs3.ReadRes{Status: nfs3.OK, Count: uint32(len(out)), EOF: eof, Data: out}
 	if attr, ok := dc.GetAttr(a.Obj); ok {
 		res.Attr = nfs3.PostOpAttr{Present: true, Attr: attr}
@@ -649,5 +824,3 @@ func (p *ClientProxy) commit(ctx context.Context, call *oncrpc.Call) (xdr.Marsha
 	}
 	return &res, oncrpc.Success
 }
-
-// errUnreachable is used in assertions only.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/gridsec"
 	"repro/internal/idmap"
 	"repro/internal/mountd"
+	"repro/internal/netem"
 	"repro/internal/nfs3"
 	"repro/internal/nfsclient"
 	"repro/internal/oncrpc"
@@ -32,6 +33,7 @@ type testStack struct {
 	host    *gridsec.Credential
 
 	serverProxy *ServerProxy
+	clientProxy *ClientProxy
 	gmap        *gridmap.Map
 	clientAddr  string
 }
@@ -42,6 +44,8 @@ type stackOpts struct {
 	plain       bool // gfs mode: no secure channel
 	userCred    *gridsec.Credential
 	suites      []securechan.Suite
+	recovery    *RecoveryConfig // fault-tolerant upstream channel
+	faulter     *netem.Faulter  // injects faults into the client→server link
 }
 
 func buildStack(t *testing.T, opts stackOpts) *testStack {
@@ -107,10 +111,15 @@ func buildStack(t *testing.T, opts stackOpts) *testStack {
 	if user == nil {
 		user = st.alice
 	}
+	serverDial := func() (net.Conn, error) { return net.Dial("tcp", spAddr) }
+	if opts.faulter != nil {
+		serverDial = opts.faulter.Dialer(serverDial)
+	}
 	ccfg := ClientConfig{
-		ServerDial: func() (net.Conn, error) { return net.Dial("tcp", spAddr) },
+		ServerDial: serverDial,
 		ExportPath: "/GFS/alice",
 		DiskCache:  opts.diskCache,
+		Recovery:   opts.recovery,
 	}
 	if !opts.plain {
 		ccfg.Channel = &securechan.Config{Credential: user, Roots: st.ca.Pool(), Suites: opts.suites}
@@ -119,6 +128,7 @@ func buildStack(t *testing.T, opts stackOpts) *testStack {
 	if err != nil {
 		t.Fatal(err)
 	}
+	st.clientProxy = cp
 	cpL, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -158,11 +158,34 @@ func (p *ServerProxy) Serve(l net.Listener) error {
 	}
 	p.listeners = append(p.listeners, l)
 	p.lnMu.Unlock()
+	var tempDelay time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			// Transient accept failures must not kill the proxy's
+			// listener; back off and retry (same policy as
+			// oncrpc.Server.Serve).
+			if oncrpc.IsTemporaryAcceptError(err) {
+				if tempDelay == 0 {
+					tempDelay = 5 * time.Millisecond
+				} else {
+					tempDelay *= 2
+				}
+				if max := 1 * time.Second; tempDelay > max {
+					tempDelay = max
+				}
+				time.Sleep(tempDelay)
+				p.lnMu.Lock()
+				closed := p.closed
+				p.lnMu.Unlock()
+				if closed {
+					return errors.New("proxy: server proxy closed")
+				}
+				continue
+			}
 			return err
 		}
+		tempDelay = 0
 		go p.handleConn(conn)
 	}
 }

@@ -22,8 +22,9 @@ chaos:
 		./internal/netem/ ./internal/oncrpc/ ./internal/proxy/
 
 # Repo-specific analyzers (xdr-symmetry, lock-over-io,
-# unlocked-field-read, swallowed-error). Exceptions live in
-# .sgfsvet-ignore; see DESIGN.md.
+# unlocked-field-read, swallowed-error, lock-order, ctx-deadline,
+# goroutine-leak, replay-table-sync). Fails on any finding not in
+# .sgfsvet-ignore; see DESIGN.md. CI also archives the -json report.
 sgfs-vet:
 	$(GO) run ./cmd/sgfs-vet ./...
 

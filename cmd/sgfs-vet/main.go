@@ -5,18 +5,23 @@
 //
 // Usage:
 //
-//	sgfs-vet [-ignore file] [-run a,b] [pattern ...]
+//	sgfs-vet [-C dir] [-ignore file] [-run a,b] [-json] [-<analyzer>=false ...] [pattern ...]
 //
 // Patterns are package directories relative to the module root;
-// `./...` (the default) walks the whole module. Exit status is 0 when
-// clean, 1 when there are findings not covered by the allowlist, and
-// 2 on usage or load errors. See DESIGN.md, "Static analysis:
-// sgfs-vet".
+// `./...` (the default) walks the whole module. Every analyzer has an
+// enable flag named after it (e.g. -lock-order=false); -run keeps
+// only the named analyzers. -json emits a machine-readable report on
+// stdout (findings, suppressed findings, stale allowlist lines) for
+// CI artifacts. Exit status is 0 when clean, 1 when there are
+// findings not covered by the allowlist, and 2 on usage or load
+// errors. See DESIGN.md, "Static analysis: sgfs-vet".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,29 +37,82 @@ var lockIOPackages = []string{
 	"repro/internal/securechan",
 }
 
-func main() {
-	os.Exit(run())
+// ctxDeadlinePackages are where upstream RPCs are issued; a missing
+// deadline there wedges a session on a half-dead WAN link. The
+// obligation propagation still sees the whole module — this only
+// limits where findings are reported.
+var ctxDeadlinePackages = []string{
+	"repro/internal/oncrpc",
+	"repro/internal/proxy",
+	"repro/internal/sfs",
+	"repro/internal/nfsclient",
+	"repro/internal/core",
 }
 
-func run() int {
-	var (
-		ignorePath = flag.String("ignore", "", "allowlist file (default <module>/.sgfsvet-ignore)")
-		only       = flag.String("run", "", "comma-separated analyzer names to run (default all)")
-	)
-	flag.Parse()
+func analyzers() []vet.Analyzer {
+	return []vet.Analyzer{
+		vet.XDRSymmetry{},
+		vet.LockOverIO{Packages: lockIOPackages},
+		vet.UnlockedFieldRead{},
+		vet.SwallowedError{},
+		vet.LockOrder{},
+		vet.CtxDeadline{Packages: ctxDeadlinePackages},
+		vet.GoroutineLeak{},
+		vet.ReplayTableSync{},
+	}
+}
 
-	moduleRoot, err := vet.FindModuleRoot(".")
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is one finding in the -json report. File paths are
+// relative to the module root so reports are stable across checkouts.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	ModuleRoot   string           `json:"module_root"`
+	Findings     []jsonDiagnostic `json:"findings"`
+	Suppressed   []jsonDiagnostic `json:"suppressed"`
+	StaleIgnores []int            `json:"stale_ignore_lines,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgfs-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		chdir      = fs.String("C", ".", "analyze the module containing this directory")
+		ignorePath = fs.String("ignore", "", "allowlist file (default <module>/.sgfsvet-ignore)")
+		only       = fs.String("run", "", "comma-separated analyzer names to run (default all)")
+		jsonOut    = fs.Bool("json", false, "emit a machine-readable report on stdout")
+	)
+	all := analyzers()
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		enabled[a.Name()] = fs.Bool(a.Name(), true, "enable the "+a.Name()+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	moduleRoot, err := vet.FindModuleRoot(*chdir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sgfs-vet:", err)
+		fmt.Fprintln(stderr, "sgfs-vet:", err)
 		return 2
 	}
 	loader, err := vet.NewLoader(moduleRoot)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sgfs-vet:", err)
+		fmt.Fprintln(stderr, "sgfs-vet:", err)
 		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -62,13 +120,13 @@ func run() int {
 	for _, pattern := range patterns {
 		dirs, err := vet.PackageDirs(moduleRoot, pattern)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sgfs-vet: %s: %v\n", pattern, err)
+			fmt.Fprintf(stderr, "sgfs-vet: %s: %v\n", pattern, err)
 			return 2
 		}
 		for _, dir := range dirs {
 			pkg, err := loader.LoadDir(dir)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "sgfs-vet: %s: %v\n", dir, err)
+				fmt.Fprintf(stderr, "sgfs-vet: %s: %v\n", dir, err)
 				return 2
 			}
 			pkgs = append(pkgs, pkg)
@@ -77,7 +135,7 @@ func run() int {
 	loadErrors := 0
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "sgfs-vet: typecheck %s: %v\n", pkg.ImportPath, terr)
+			fmt.Fprintf(stderr, "sgfs-vet: typecheck %s: %v\n", pkg.ImportPath, terr)
 			loadErrors++
 		}
 	}
@@ -85,11 +143,14 @@ func run() int {
 		return 2
 	}
 
-	analyzers := []vet.Analyzer{
-		vet.XDRSymmetry{},
-		vet.LockOverIO{Packages: lockIOPackages},
-		vet.UnlockedFieldRead{},
-		vet.SwallowedError{},
+	allEnabled := true
+	var selected []vet.Analyzer
+	for _, a := range all {
+		if !*enabled[a.Name()] {
+			allEnabled = false
+			continue
+		}
+		selected = append(selected, a)
 	}
 	if *only != "" {
 		want := make(map[string]bool)
@@ -97,7 +158,7 @@ func run() int {
 			want[strings.TrimSpace(name)] = true
 		}
 		var filtered []vet.Analyzer
-		for _, a := range analyzers {
+		for _, a := range selected {
 			if want[a.Name()] {
 				filtered = append(filtered, a)
 				delete(want, a.Name())
@@ -105,11 +166,11 @@ func run() int {
 		}
 		if len(want) > 0 {
 			for name := range want {
-				fmt.Fprintf(os.Stderr, "sgfs-vet: unknown analyzer %q\n", name)
+				fmt.Fprintf(stderr, "sgfs-vet: unknown analyzer %q\n", name)
 			}
 			return 2
 		}
-		analyzers = filtered
+		selected = filtered
 	}
 
 	ipath := *ignorePath
@@ -118,30 +179,59 @@ func run() int {
 	}
 	ignore, err := vet.LoadIgnore(ipath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sgfs-vet:", err)
+		fmt.Fprintln(stderr, "sgfs-vet:", err)
 		return 2
 	}
 
-	findings := 0
-	for _, d := range vet.RunAll(pkgs, analyzers) {
+	relFile := func(name string) string {
+		if rel, err := filepath.Rel(moduleRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return filepath.ToSlash(name)
+	}
+	report := jsonReport{
+		ModuleRoot: moduleRoot,
+		Findings:   []jsonDiagnostic{},
+		Suppressed: []jsonDiagnostic{},
+	}
+	for _, d := range vet.RunAll(pkgs, selected) {
+		jd := jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relFile(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		}
 		if ignore.Match(d) {
+			report.Suppressed = append(report.Suppressed, jd)
 			continue
 		}
-		fmt.Println(d)
-		findings++
+		report.Findings = append(report.Findings, jd)
+		if !*jsonOut {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	// Stale allowlist entries rot silently; surface them, but only
 	// when a full run could have matched them. An explicit `./...`
 	// (how make check invokes us) is a full run too.
-	fullRun := len(flag.Args()) == 0 ||
-		(len(flag.Args()) == 1 && flag.Args()[0] == "./...")
-	if *only == "" && fullRun {
-		for _, line := range ignore.Unused() {
-			fmt.Fprintf(os.Stderr, "sgfs-vet: %s:%d: allowlist entry matched nothing (stale?)\n", ipath, line)
+	fullRun := len(fs.Args()) == 0 ||
+		(len(fs.Args()) == 1 && fs.Args()[0] == "./...")
+	if *only == "" && allEnabled && fullRun {
+		report.StaleIgnores = ignore.Unused()
+		for _, line := range report.StaleIgnores {
+			fmt.Fprintf(stderr, "sgfs-vet: %s:%d: allowlist entry matched nothing (stale?)\n", ipath, line)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "sgfs-vet: %d finding(s)\n", findings)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "sgfs-vet:", err)
+			return 2
+		}
+	}
+	if len(report.Findings) > 0 {
+		fmt.Fprintf(stderr, "sgfs-vet: %d finding(s)\n", len(report.Findings))
 		return 1
 	}
 	return 0

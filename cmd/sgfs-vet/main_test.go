@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// demoSource seeds one lock-order cycle (a.mu <-> b.mu, one leg
+// through a call) and one swallowed error, so exit codes, filtering
+// and suppression all have material to work with.
+const demoSource = `package demo
+
+import "sync"
+
+type a struct {
+	mu sync.Mutex
+	b  *b
+}
+
+type b struct {
+	mu sync.Mutex
+	a  *a
+}
+
+func (x *a) one() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.b.mu.Lock()
+	x.b.mu.Unlock()
+}
+
+func (y *b) two() {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	y.a.oops()
+}
+
+func (x *a) oops() {
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+
+func mayFail() error { return nil }
+
+func Use() {
+	mayFail()
+}
+`
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixturemod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "demo")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(demoSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunFindings(t *testing.T) {
+	root := writeModule(t)
+	code, stdout, stderr := runVet(t, "-C", root)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "lock-order cycle") {
+		t.Errorf("stdout missing lock-order finding:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "is not checked") {
+		t.Errorf("stdout missing swallowed-error finding:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "2 finding(s)") {
+		t.Errorf("stderr = %q, want finding count", stderr)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	root := writeModule(t)
+	// A stale allowlist entry must be reported in the JSON too.
+	ignore := filepath.Join(root, ".sgfsvet-ignore")
+	if err := os.WriteFile(ignore, []byte("lock-over-io never/matches nothing here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runVet(t, "-C", root, "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var report struct {
+		ModuleRoot   string `json:"module_root"`
+		Findings     []struct{ Analyzer, File, Message string } `json:"findings"`
+		Suppressed   []struct{ Analyzer string }                `json:"suppressed"`
+		StaleIgnores []int                                      `json:"stale_ignore_lines"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(report.Findings) != 2 {
+		t.Fatalf("findings = %d, want 2: %+v", len(report.Findings), report.Findings)
+	}
+	seen := map[string]bool{}
+	for _, f := range report.Findings {
+		seen[f.Analyzer] = true
+		if f.File != "demo/demo.go" {
+			t.Errorf("finding file = %q, want module-relative demo/demo.go", f.File)
+		}
+	}
+	if !seen["lock-order"] || !seen["swallowed-error"] {
+		t.Errorf("finding analyzers = %v, want lock-order and swallowed-error", seen)
+	}
+	if len(report.StaleIgnores) != 1 {
+		t.Errorf("stale_ignore_lines = %v, want one entry", report.StaleIgnores)
+	}
+}
+
+func TestRunAnalyzerSelection(t *testing.T) {
+	root := writeModule(t)
+	// -run keeps only the named analyzer.
+	code, stdout, _ := runVet(t, "-C", root, "-run", "swallowed-error")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout, "lock-order") {
+		t.Errorf("-run swallowed-error still ran lock-order:\n%s", stdout)
+	}
+	// The per-analyzer enable flag disables one analyzer.
+	code, stdout, _ = runVet(t, "-C", root, "-lock-order=false")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout, "lock-order") {
+		t.Errorf("-lock-order=false still reported lock-order:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "is not checked") {
+		t.Errorf("-lock-order=false dropped the swallowed-error finding:\n%s", stdout)
+	}
+	// Disabling both offenders leaves a clean run.
+	code, _, _ = runVet(t, "-C", root, "-lock-order=false", "-swallowed-error=false")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with both analyzers disabled", code)
+	}
+}
+
+func TestRunIgnoreFile(t *testing.T) {
+	root := writeModule(t)
+	ignore := filepath.Join(root, ".sgfsvet-ignore")
+	content := "lock-order demo/demo.go lock-order cycle\n" +
+		"swallowed-error demo/demo.go result of mayFail\n"
+	if err := os.WriteFile(ignore, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runVet(t, "-C", root)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with full allowlist; stdout:\n%s", code, stdout)
+	}
+	if strings.Contains(stderr, "matched nothing") {
+		t.Errorf("no entry is stale, but stderr says otherwise: %s", stderr)
+	}
+	// Suppressed findings stay visible in the JSON report.
+	code, out, _ := runVet(t, "-C", root, "-json")
+	if code != 0 {
+		t.Fatalf("-json exit = %d, want 0", code)
+	}
+	var report struct {
+		Suppressed []struct{ Analyzer string } `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Suppressed) != 2 {
+		t.Errorf("suppressed = %d, want 2", len(report.Suppressed))
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	root := writeModule(t)
+	if code, _, stderr := runVet(t, "-C", root, "-run", "bogus"); code != 2 {
+		t.Errorf("unknown analyzer: exit = %d, want 2 (%s)", code, stderr)
+	}
+	// A directory with no go.mod anywhere above it is a load error.
+	if code, _, _ := runVet(t, "-C", t.TempDir()); code != 2 {
+		t.Errorf("-C outside a module: exit = %d, want 2", code)
+	}
+	if code, _, _ := runVet(t, "-not-a-flag"); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+}

@@ -139,7 +139,10 @@ func (fs *FileSystem) Close() error {
 		}
 	}
 	fs.pages.mu.Unlock()
-	ctx := context.Background()
+	// Bound the final write-back: Close must terminate even when the
+	// server has gone away mid-session.
+	ctx, cancel := context.WithTimeout(context.Background(), closeFlushTimeout)
+	defer cancel()
 	var firstErr error
 	for _, key := range fhs {
 		fh := nfs3.FH3{Data: []byte(key)}
@@ -397,6 +400,9 @@ func (fs *FileSystem) ReadDir(ctx context.Context, path string) ([]nfs3.DirEntry
 		}
 	}
 }
+
+// closeFlushTimeout bounds the final write-back in Close.
+const closeFlushTimeout = 2 * time.Minute
 
 // File flags for OpenFile.
 const (

@@ -208,7 +208,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.lnMu.Unlock()
 	}()
 	var writeMu sync.Mutex
-	ctx := context.Background()
+	// Handlers observe connection teardown through ctx, so work for a
+	// departed peer can stop instead of running to completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var buf []byte
 	for {
 		rec, err := readRecord(conn, buf)

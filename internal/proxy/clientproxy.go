@@ -111,6 +111,15 @@ type ClientProxy struct {
 	haveRoot bool
 }
 
+// initTimeout bounds proxy construction (dial, handshake, MOUNT):
+// a dead server must fail setup, not hang it. defaultOpTimeout bounds
+// per-operation upstream RPCs when no RecoveryConfig supplies a
+// tighter one; both proxies share these.
+const (
+	initTimeout      = 30 * time.Second
+	defaultOpTimeout = 2 * time.Minute
+)
+
 // NewClientProxy establishes the channel to the server-side proxy,
 // mounts the export through it, and returns a proxy ready to serve
 // the local client.
@@ -121,7 +130,9 @@ func NewClientProxy(cfg ClientConfig) (*ClientProxy, error) {
 	}
 	// Establish the first session synchronously so misconfiguration
 	// (bad export, refused credential) fails here, not on first use.
-	first, err := p.dialSession(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), initTimeout)
+	defer cancel()
+	first, err := p.dialSession(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -213,21 +224,45 @@ func (p *ClientProxy) mountViaServer(ctx context.Context) (nfs3.FH3, error) {
 	return mres.FH, nil
 }
 
-// nfs3Idempotent classifies the NFSv3 procedures that are safe to
-// replay on a fresh session after a transport failure: pure reads and
-// COMMIT (re-committing already-stable data is harmless). Mutating
-// namespace ops (CREATE, REMOVE, RENAME, LINK, …) and WRITE are
-// refused back to the caller instead — the proxy cannot know whether
-// the lost call executed. (FlushAll makes its own finer-grained
-// decision for FILE_SYNC writes; see there.)
+// nfs3ReplayClass classifies every NFSv3 procedure for replay on a
+// fresh session after a transport failure: true = safe to replay
+// (pure reads, and COMMIT — re-committing already-stable data is
+// harmless), false = refused back to the caller instead, because the
+// proxy cannot know whether the lost call executed. (FlushAll makes
+// its own finer-grained decision for FILE_SYNC writes; see there.)
+// The sgfs-vet replay-table-sync analyzer enforces that this table
+// names every nfs3.Proc* constant, so adding a procedure without
+// deciding its replay class breaks the build rather than the WAN
+// recovery path.
+//
+//sgfsvet:replay-table repro/internal/nfs3
+var nfs3ReplayClass = map[uint32]bool{
+	nfs3.ProcNull:        true,
+	nfs3.ProcGetAttr:     true,
+	nfs3.ProcSetAttr:     false,
+	nfs3.ProcLookup:      true,
+	nfs3.ProcAccess:      true,
+	nfs3.ProcReadLink:    true,
+	nfs3.ProcRead:        true,
+	nfs3.ProcWrite:       false,
+	nfs3.ProcCreate:      false,
+	nfs3.ProcMkdir:       false,
+	nfs3.ProcSymlink:     false,
+	nfs3.ProcMknod:       false,
+	nfs3.ProcRemove:      false,
+	nfs3.ProcRmdir:       false,
+	nfs3.ProcRename:      false,
+	nfs3.ProcLink:        false,
+	nfs3.ProcReadDir:     true,
+	nfs3.ProcReadDirPlus: true,
+	nfs3.ProcFSStat:      true,
+	nfs3.ProcFSInfo:      true,
+	nfs3.ProcPathConf:    true,
+	nfs3.ProcCommit:      true,
+}
+
 func nfs3Idempotent(proc uint32) bool {
-	switch proc {
-	case nfs3.ProcNull, nfs3.ProcGetAttr, nfs3.ProcLookup, nfs3.ProcAccess,
-		nfs3.ProcReadLink, nfs3.ProcRead, nfs3.ProcReadDir, nfs3.ProcReadDirPlus,
-		nfs3.ProcFSStat, nfs3.ProcFSInfo, nfs3.ProcPathConf, nfs3.ProcCommit:
-		return true
-	}
-	return false
+	return nfs3ReplayClass[proc]
 }
 
 // degraded reports whether the proxy is in disconnected operation:
@@ -349,16 +384,17 @@ func (p *ClientProxy) FlushAll(ctx context.Context) error {
 
 // upCall issues an upstream RPC, crediting the wait back to the meter
 // so metered handler time approximates local processing (the paper's
-// proxy CPU, Figures 5/6) rather than wall-clock. With recovery
-// enabled every operation carries a deadline covering all retry
-// attempts, so a dead WAN link turns into a bounded error instead of
-// an indefinite hang.
+// proxy CPU, Figures 5/6) rather than wall-clock. Every operation
+// carries a deadline — the recovery config's, which covers all retry
+// attempts, or defaultOpTimeout — so a dead WAN link turns into a
+// bounded error instead of an indefinite hang.
 func (p *ClientProxy) upCall(ctx context.Context, proc uint32, args xdr.Marshaler, res xdr.Unmarshaler) error {
+	timeout := defaultOpTimeout
 	if r := p.cfg.Recovery; r != nil {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, r.opTimeout())
-		defer cancel()
+		timeout = r.opTimeout()
 	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	if p.cfg.Meter == nil {
 		return p.up.Call(ctx, proc, args, res)
 	}

@@ -107,7 +107,8 @@ func NewServerProxy(cfg ServerConfig) (*ServerProxy, error) {
 	if cfg.Accounts == nil {
 		cfg.Accounts = idmap.NewTable()
 	}
-	ctx := context.Background()
+	ctx, cancel := context.WithTimeout(context.Background(), initTimeout)
+	defer cancel()
 	root, err := mountUpstream(ctx, cfg.UpstreamDial, cfg.ExportPath)
 	if err != nil {
 		return nil, err
@@ -340,7 +341,11 @@ func (p *ServerProxy) mnt(_ context.Context, call *oncrpc.Call) (xdr.Marshaler, 
 
 // upCall issues an upstream RPC under cred, crediting the wait back
 // to the meter so metered handler time approximates local processing.
+// The upstream server sits on the local cluster network; a generous
+// deadline still turns a dead backend into an error, not a hang.
 func (p *ServerProxy) upCall(ctx context.Context, proc uint32, cred oncrpc.OpaqueAuth, args xdr.Marshaler, res xdr.Unmarshaler) error {
+	ctx, cancel := context.WithTimeout(ctx, defaultOpTimeout)
+	defer cancel()
 	if p.cfg.Meter == nil {
 		return p.up.CallCred(ctx, proc, cred, args, res)
 	}

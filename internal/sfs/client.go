@@ -70,6 +70,14 @@ type blockKey struct {
 
 const sfsBlockSize = 32 * 1024
 
+// sfsMountTimeout bounds the constructor mounts; sfsPrefetchTimeout
+// bounds background block prefetches, which have no caller waiting on
+// them to notice a hang.
+const (
+	sfsMountTimeout    = 30 * time.Second
+	sfsPrefetchTimeout = 30 * time.Second
+)
+
 // NewClient establishes the self-certified channel, mounts the export,
 // and returns a daemon ready to serve the local client.
 func NewClient(cfg ClientConfig) (*Client, error) {
@@ -103,9 +111,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	mctx, cancel := context.WithTimeout(context.Background(), sfsMountTimeout)
+	defer cancel()
 	mc := oncrpc.NewClient(mconn, mountd.Program, mountd.Version)
 	var mres mountd.MntRes
-	err = mc.Call(context.Background(), mountd.ProcMnt, &mountd.MntArgs{Path: cfg.ExportPath}, &mres)
+	err = mc.Call(mctx, mountd.ProcMnt, &mountd.MntArgs{Path: cfg.ExportPath}, &mres)
 	mc.Close()
 	if err != nil {
 		return nil, err
@@ -446,9 +456,11 @@ func (c *Client) prefetch(fh nfs3.FH3, idx uint64) {
 			delete(c.inflight, k)
 			c.prefetchMu.Unlock()
 		}()
+		ctx, cancel := context.WithTimeout(context.Background(), sfsPrefetchTimeout)
+		defer cancel()
 		var res nfs3.ReadRes
 		args := &nfs3.ReadArgs{Obj: fh, Offset: idx * sfsBlockSize, Count: sfsBlockSize}
-		if err := c.up.Call(context.Background(), nfs3.ProcRead, args, &res); err != nil {
+		if err := c.up.Call(ctx, nfs3.ProcRead, args, &res); err != nil {
 			return
 		}
 		if res.Status == nfs3.OK && len(res.Data) > 0 {

@@ -60,7 +60,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Credential == nil {
 		return nil, errors.New("sfs: server requires a credential")
 	}
-	ctx := context.Background()
+	ctx, cancel := context.WithTimeout(context.Background(), sfsMountTimeout)
+	defer cancel()
 	conn, err := cfg.UpstreamDial()
 	if err != nil {
 		return nil, err

@@ -27,12 +27,34 @@ type Analyzer interface {
 	Run(pkg *Package) []Diagnostic
 }
 
+// ModuleAnalyzer is implemented by analyzers that need every loaded
+// package at once so they can follow calls across package boundaries
+// (lock-order, ctx-deadline). RunAll hands such analyzers the whole
+// package set in one call instead of iterating per package.
+type ModuleAnalyzer interface {
+	Analyzer
+	RunModule(pkgs []*Package) []Diagnostic
+}
+
 // RunAll applies every analyzer to every package and returns the
-// combined findings sorted by position.
+// combined findings sorted by position. Duplicate packages (the same
+// directory named by two patterns) are analyzed once.
 func RunAll(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var uniq []*Package
+	seen := make(map[*Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	for _, a := range analyzers {
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			out = append(out, ma.RunModule(uniq)...)
+			continue
+		}
+		for _, pkg := range uniq {
 			out = append(out, a.Run(pkg)...)
 		}
 	}

@@ -1,0 +1,104 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// moduleIndex maps function and method objects to their declarations
+// across every loaded package, so interprocedural analyzers can follow
+// direct calls into module code. Because all packages of a run share
+// one Loader, a method object obtained from a call site in one package
+// is pointer-identical to the object recorded at its declaration in
+// another.
+type moduleIndex struct {
+	decls map[*types.Func]*declSite
+}
+
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func indexModule(pkgs []*Package) *moduleIndex {
+	idx := &moduleIndex{decls: make(map[*types.Func]*declSite)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx.decls[fn] = &declSite{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// calleeOf resolves a call expression to the function or method object
+// it statically invokes. Calls through function values, builtins and
+// conversions resolve to nil.
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// lockKeyOf computes a module-wide identity for the mutex behind a
+// lock expression: "<pkgpath>.<Type>.<field>" for struct-field mutexes
+// and "<pkgpath>.<var>" for package-level ones. Mutexes with no stable
+// identity across functions (locals, parameters) yield "".
+func lockKeyOf(pkg *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := pkg.Info.Uses[x].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return ""
+		}
+		return v.Pkg().Path() + "." + v.Name()
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				v, ok := pkg.Info.Uses[x.Sel].(*types.Var)
+				if !ok || v.Pkg() == nil {
+					return ""
+				}
+				return v.Pkg().Path() + "." + v.Name()
+			}
+		}
+		tv, ok := pkg.Info.Types[x.X]
+		if !ok {
+			return ""
+		}
+		named := namedType(tv.Type)
+		if named == nil || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// shortKey trims the directory part of a lock key for diagnostics:
+// "repro/internal/oncrpc.Client.mu" -> "oncrpc.Client.mu".
+func shortKey(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}

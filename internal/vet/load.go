@@ -1,7 +1,9 @@
 // Package vet implements sgfs-vet, a repository-specific static
 // analysis suite built purely on the standard library's go/ast,
-// go/parser and go/types. It carries four analyzers tuned to the
-// invariants this codebase depends on but the compiler cannot check:
+// go/parser and go/types. It carries eight analyzers tuned to the
+// invariants this codebase depends on but the compiler cannot check.
+//
+// Syntactic, per-package:
 //
 //   - xdr-symmetry: EncodeXDR/DecodeXDR method pairs must visit the
 //     same fields in the same order with matching XDR primitives.
@@ -12,6 +14,17 @@
 //     not be read bare elsewhere in the same type's methods.
 //   - swallowed-error: `_ =` discards and unchecked error-returning
 //     calls in non-test code must be handled or allowlisted.
+//
+// Flow-aware, added in the second generation:
+//
+//   - lock-order: interprocedural lock-acquisition graph; cycles are
+//     potential deadlocks.
+//   - ctx-deadline: upstream RPC entry points must only be reachable
+//     through deadline-bearing contexts.
+//   - goroutine-leak: go statements whose goroutine can block on a
+//     channel with no cancellation edge in sight.
+//   - replay-table-sync: //sgfsvet:replay-table annotated maps must
+//     cover exactly the target package's Proc* constants.
 //
 // See DESIGN.md ("Static analysis: sgfs-vet") for the full contract
 // and instructions for adding analyzers.

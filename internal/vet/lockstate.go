@@ -19,6 +19,13 @@ import (
 type lockWalker struct {
 	pkg *Package
 
+	// async makes the walker precise about asynchronous boundaries for
+	// interprocedural analyses: nested function literals are handed to
+	// onFuncLit instead of being walked inline, and the call spawned by
+	// a `go` statement is not reported through onCall — the goroutine
+	// does not run under the spawner's locks.
+	async bool
+
 	// onCall is invoked for every call expression outside nested
 	// function literals with the mutexes held at that point.
 	onCall func(call *ast.CallExpr, held map[string]token.Pos)
@@ -26,6 +33,15 @@ type lockWalker struct {
 	// onAccess is invoked for every selector expression (write=true for
 	// assignment targets) with the mutexes held at that point.
 	onAccess func(sel *ast.SelectorExpr, write bool, held map[string]token.Pos)
+
+	// onLock is invoked at every acquisition with the selector being
+	// locked, its normalized name, and the set of mutexes held before
+	// this acquisition takes effect.
+	onLock func(sel *ast.SelectorExpr, name string, pos token.Pos, held map[string]token.Pos)
+
+	// onFuncLit receives nested function literals in async mode; the
+	// callee decides in which context (if any) to walk their bodies.
+	onFuncLit func(lit *ast.FuncLit)
 }
 
 func (w *lockWalker) walkBody(body *ast.BlockStmt) {
@@ -49,8 +65,11 @@ func copyHeld(held map[string]token.Pos) map[string]token.Pos {
 func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]token.Pos) {
 	switch s := s.(type) {
 	case *ast.ExprStmt:
-		if name, locked, ok := w.lockOp(s.X); ok {
+		if sel, name, locked, ok := w.lockOp(s.X); ok {
 			if locked {
+				if w.onLock != nil {
+					w.onLock(sel, name, s.Pos(), held)
+				}
 				held[name] = s.Pos()
 			} else {
 				delete(held, name)
@@ -59,7 +78,7 @@ func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]token.Pos) {
 		}
 		w.scanExpr(s.X, held)
 	case *ast.DeferStmt:
-		if _, locked, ok := w.lockOp(s.Call); ok && !locked {
+		if _, _, locked, ok := w.lockOp(s.Call); ok && !locked {
 			return // defer mu.Unlock(): held until the region ends
 		}
 		w.scanExpr(s.Call, held)
@@ -138,6 +157,22 @@ func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]token.Pos) {
 			w.scanExpr(r, held)
 		}
 	case *ast.GoStmt:
+		if w.async {
+			// The spawned call runs outside the spawner's critical
+			// section; only its operands evaluate synchronously.
+			for _, arg := range s.Call.Args {
+				w.scanExpr(arg, held)
+			}
+			switch fun := s.Call.Fun.(type) {
+			case *ast.FuncLit:
+				if w.onFuncLit != nil {
+					w.onFuncLit(fun)
+				}
+			case *ast.SelectorExpr:
+				w.scanExpr(fun.X, held)
+			}
+			return
+		}
 		w.scanExpr(s.Call, held)
 	case *ast.SendStmt:
 		w.scanExpr(s.Chan, held)
@@ -166,6 +201,12 @@ func (w *lockWalker) scanExpr(e ast.Expr, held map[string]token.Pos) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
+			if w.async {
+				if w.onFuncLit != nil {
+					w.onFuncLit(n)
+				}
+				return false
+			}
 			w.walkStmts(n.Body.List, map[string]token.Pos{})
 			return false
 		case *ast.CallExpr:
@@ -198,28 +239,28 @@ func (w *lockWalker) scanLHS(e ast.Expr, held map[string]token.Pos) {
 }
 
 // lockOp recognizes mu.Lock/Unlock/RLock/RUnlock on a sync.Mutex or
-// sync.RWMutex and returns the normalized mutex name and whether the
-// operation acquires it.
-func (w *lockWalker) lockOp(e ast.Expr) (name string, locked, ok bool) {
+// sync.RWMutex and returns the mutex selector, its normalized name and
+// whether the operation acquires it.
+func (w *lockWalker) lockOp(e ast.Expr) (sel *ast.SelectorExpr, name string, locked, ok bool) {
 	call, isCall := e.(*ast.CallExpr)
 	if !isCall {
-		return "", false, false
+		return nil, "", false, false
 	}
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
-		return "", false, false
+		return nil, "", false, false
 	}
 	switch sel.Sel.Name {
 	case "Lock", "RLock":
 		locked = true
 	case "Unlock", "RUnlock":
 	default:
-		return "", false, false
+		return nil, "", false, false
 	}
 	if !isSyncLocker(w.pkg.Info.Types[sel.X].Type) {
-		return "", false, false
+		return nil, "", false, false
 	}
-	return exprString(sel.X), locked, true
+	return sel, exprString(sel.X), locked, true
 }
 
 // isSyncLocker reports whether t is sync.Mutex or sync.RWMutex

@@ -1,0 +1,92 @@
+// Package ctxdeadline exercises the ctx-deadline analyzer: sinks are
+// methods named Call/CallCred taking a context first.
+package ctxdeadline
+
+import (
+	"context"
+	"time"
+)
+
+type Client struct{}
+
+func (c *Client) Call(ctx context.Context, proc uint32) error {
+	_ = ctx
+	_ = proc
+	return nil
+}
+
+type wrapper struct {
+	c *Client
+}
+
+// bad issues the RPC with a context that can never carry a deadline.
+func (w *wrapper) bad() error {
+	return w.c.Call(context.Background(), 1) // want "can never carry a deadline"
+}
+
+// good bounds the context locally.
+func (w *wrapper) good() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return w.c.Call(ctx, 2)
+}
+
+// cancelOnly is not enough: WithCancel adds no deadline.
+func (w *wrapper) cancelOnly() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return w.c.Call(ctx, 3) // want "can never carry a deadline"
+}
+
+// condTimeout rebinds its parameter on one path only; the lenient
+// flow-insensitive model treats the variable as bearing everywhere,
+// so neither this body nor its callers are flagged.
+func (w *wrapper) condTimeout(ctx context.Context, fast bool) error {
+	cancel := func() {}
+	if fast {
+		ctx, cancel = context.WithTimeout(ctx, time.Second)
+	}
+	defer cancel()
+	return w.c.Call(ctx, 4)
+}
+
+func (w *wrapper) condCaller() error {
+	return w.condTimeout(context.Background(), false)
+}
+
+// issue forwards its parameter into the sink, so the deadline
+// obligation lands on its callers.
+func (w *wrapper) issue(ctx context.Context, proc uint32) error {
+	return w.c.Call(ctx, proc)
+}
+
+func (w *wrapper) badCaller() error {
+	return w.issue(context.Background(), 5) // want "deadline-free context into an upstream RPC path"
+}
+
+func (w *wrapper) goodCaller() error {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Second))
+	defer cancel()
+	return w.issue(ctx, 6)
+}
+
+// relay adds one more hop: obligations propagate transitively.
+func (w *wrapper) relay(ctx context.Context) error {
+	return w.issue(context.WithValue(ctx, ctxKey{}, "v"), 7)
+}
+
+type ctxKey struct{}
+
+func (w *wrapper) badRelayCaller() error {
+	return w.relay(context.Background()) // want "deadline-free context into an upstream RPC path"
+}
+
+// unknownSource contexts (fields, results) are trusted silently.
+type holder struct {
+	ctx context.Context
+	w   *wrapper
+}
+
+func (h *holder) fromField() error {
+	return h.w.issue(h.ctx, 8)
+}

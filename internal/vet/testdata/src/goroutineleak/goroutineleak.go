@@ -1,0 +1,130 @@
+// Package goroutineleak exercises the goroutine-leak analyzer:
+// blocking channel operations in spawned goroutines need a visible
+// cancellation edge.
+package goroutineleak
+
+import "time"
+
+type mgr struct {
+	stop   chan struct{}
+	events chan int
+}
+
+// Stop closes m.stop, so receives from it are completion signals.
+func (m *mgr) Stop() { close(m.stop) }
+
+// leakyRecv blocks forever if no event ever arrives: m.events is
+// never closed in this package.
+func (m *mgr) leakyRecv() {
+	go func() {
+		v := <-m.events // want "no cancellation edge"
+		_ = v
+	}()
+}
+
+// leakySend blocks forever if the consumer is gone.
+func (m *mgr) leakySend(ch chan int) {
+	go func() {
+		ch <- 1 // want "no cancellation edge"
+	}()
+}
+
+// waiter unblocks when Stop runs: m.stop is closed in this package.
+func (m *mgr) waiter() {
+	go func() {
+		<-m.stop
+	}()
+}
+
+// doneWatcher receives from a call result; the callee owns the
+// channel's lifecycle.
+type waitable interface {
+	Done() <-chan struct{}
+}
+
+func doneWatcher(w waitable) {
+	go func() {
+		<-w.Done()
+	}()
+}
+
+// timed receives from time.After: bounded by construction.
+func timed() {
+	go func() {
+		<-time.After(time.Second)
+	}()
+}
+
+// compute delivers its result through a channel buffered in the
+// spawner: the send completes even if the consumer is gone.
+func compute() chan int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	return ch
+}
+
+// watched pairs the event channel with a stop case.
+func (m *mgr) watched() {
+	go func() {
+		for {
+			select {
+			case v := <-m.events:
+				_ = v
+			case <-m.stop:
+				return
+			}
+		}
+	}()
+}
+
+// polling selects with a default never block.
+func (m *mgr) polling() {
+	go func() {
+		select {
+		case v := <-m.events:
+			_ = v
+		default:
+		}
+	}()
+}
+
+// singleSelect is a bare receive in disguise.
+func (m *mgr) singleSelect() {
+	go func() {
+		select {
+		case v := <-m.events: // want "no cancellation edge"
+			_ = v
+		}
+	}()
+}
+
+// leakyRange never terminates: m.events is never closed.
+func (m *mgr) leakyRange() {
+	go func() {
+		for range m.events { // want "never closed in this package"
+		}
+	}()
+}
+
+// namedLoop resolves the spawned function through the go statement.
+func (m *mgr) namedLoop() {
+	go m.recvLoop()
+}
+
+func (m *mgr) recvLoop() {
+	v := <-m.events // want "no cancellation edge"
+	_ = v
+}
+
+// jobs ranges over a channel the spawner closes.
+func jobs(work []int) {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	for _, w := range work {
+		ch <- w
+	}
+	close(ch)
+}

@@ -1,0 +1,49 @@
+// Package replaytable exercises the replay-table-sync analyzer with
+// same-package procedure constants (the `.` directive form).
+package replaytable
+
+const (
+	ProcNull   uint32 = 0
+	ProcRead   uint32 = 1
+	ProcWrite  uint32 = 2
+	ProcCreate uint32 = 3
+)
+
+const unrelated uint32 = 99
+
+// good classifies every procedure: in sync with the constants.
+//
+//sgfsvet:replay-table .
+var good = map[uint32]bool{
+	ProcNull:   true,
+	ProcRead:   true,
+	ProcWrite:  false,
+	ProcCreate: false,
+}
+
+// bad misses ProcCreate and smuggles in a non-procedure key.
+//
+//sgfsvet:replay-table .
+var bad = map[uint32]bool{ // want "missing replaytable procedure constants: ProcCreate"
+	ProcNull:  true,
+	ProcRead:  true,
+	ProcWrite: false,
+	unrelated: true, // want "not a replaytable procedure constant"
+}
+
+// notAMap cannot be checked at all.
+//
+//sgfsvet:replay-table .
+var notAMap = []uint32{ProcNull} // want "must annotate a map composite literal"
+
+// missingImport names a package this file does not import.
+//
+//sgfsvet:replay-table some/other/pkg
+var missingImport = map[uint32]bool{ // want "does not import"
+	ProcNull: true,
+}
+
+var _ = good
+var _ = bad
+var _ = notAMap
+var _ = missingImport

@@ -95,6 +95,46 @@ func TestSwallowedError(t *testing.T) {
 	runFixture(t, "swallowederr", SwallowedError{})
 }
 
+func TestLockOrder(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "lockorder", LockOrder{})
+}
+
+func TestCtxDeadline(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "ctxdeadline", CtxDeadline{})
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "goroutineleak", GoroutineLeak{})
+}
+
+func TestReplayTableSync(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "replaytable", ReplayTableSync{})
+}
+
+func TestCtxDeadlinePackageFilter(t *testing.T) {
+	t.Parallel()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "ctxdeadline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := CtxDeadline{Packages: []string{"some/other/pkg"}}
+	if diags := a.Run(pkg); len(diags) != 0 {
+		t.Fatalf("filtered analyzer still reported %d diagnostics", len(diags))
+	}
+}
+
 func TestLockOverIOPackageFilter(t *testing.T) {
 	t.Parallel()
 	root, err := FindModuleRoot(".")

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos sgfs-vet check
+.PHONY: build test vet race chaos fuzz-short sgfs-vet check
 
 build:
 	$(GO) build ./...
@@ -21,12 +21,28 @@ chaos:
 	$(GO) test -race -count=1 -timeout 300s -run 'Chaos|Fault|Reconnect|MidStream|TemporaryAccept|Recovery' \
 		./internal/netem/ ./internal/oncrpc/ ./internal/proxy/
 
+# Short fuzzing pass: every Fuzz* target in the module runs for
+# FUZZTIME (default ~10s). This catches decoder panics and round-trip
+# regressions cheaply on every merge; long campaigns are run manually
+# with a bigger -fuzztime. `go test -fuzz` takes one target per
+# invocation, hence the loop.
+FUZZTIME ?= 10s
+fuzz-short:
+	@set -e; \
+	for pkg in $$($(GO) list ./...); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz' || true); do \
+			echo "=== fuzz $$pkg $$target ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
+
 # Repo-specific analyzers (xdr-symmetry, lock-over-io,
 # unlocked-field-read, swallowed-error, lock-order, ctx-deadline,
-# goroutine-leak, replay-table-sync). Fails on any finding not in
-# .sgfsvet-ignore; see DESIGN.md. CI also archives the -json report.
+# goroutine-leak, replay-table-sync, secret-flow, unbounded-alloc,
+# weak-rand). Fails on any finding not in .sgfsvet-ignore; see
+# DESIGN.md. CI also archives the -json report.
 sgfs-vet:
-	$(GO) run ./cmd/sgfs-vet ./...
+	$(GO) run ./cmd/sgfs-vet -all ./...
 
 # The CI gate: everything that must be green before merging.
 check: build vet race chaos sgfs-vet

@@ -5,16 +5,18 @@
 //
 // Usage:
 //
-//	sgfs-vet [-C dir] [-ignore file] [-run a,b] [-json] [-<analyzer>=false ...] [pattern ...]
+//	sgfs-vet [-C dir] [-ignore file] [-run a,b] [-all] [-json] [-prune] [-<analyzer>=false ...] [pattern ...]
 //
 // Patterns are package directories relative to the module root;
 // `./...` (the default) walks the whole module. Every analyzer has an
 // enable flag named after it (e.g. -lock-order=false); -run keeps
-// only the named analyzers. -json emits a machine-readable report on
-// stdout (findings, suppressed findings, stale allowlist lines) for
-// CI artifacts. Exit status is 0 when clean, 1 when there are
-// findings not covered by the allowlist, and 2 on usage or load
-// errors. See DESIGN.md, "Static analysis: sgfs-vet".
+// only the named analyzers; -all forces the complete suite regardless
+// of -run or per-analyzer flags. -json emits a machine-readable
+// report on stdout (findings, suppressed findings, stale allowlist
+// lines) for CI artifacts. -prune rewrites the allowlist dropping the
+// stale lines a full run detects. Exit status is 0 when clean, 1 when
+// there are findings not covered by the allowlist, and 2 on usage or
+// load errors. See DESIGN.md, "Static analysis: sgfs-vet".
 package main
 
 import (
@@ -28,39 +30,6 @@ import (
 
 	"repro/internal/vet"
 )
-
-// lockIOPackages are the concurrent hot paths where holding a mutex
-// across transport I/O is either a deadlock or a throughput cliff.
-var lockIOPackages = []string{
-	"repro/internal/oncrpc",
-	"repro/internal/proxy",
-	"repro/internal/securechan",
-}
-
-// ctxDeadlinePackages are where upstream RPCs are issued; a missing
-// deadline there wedges a session on a half-dead WAN link. The
-// obligation propagation still sees the whole module — this only
-// limits where findings are reported.
-var ctxDeadlinePackages = []string{
-	"repro/internal/oncrpc",
-	"repro/internal/proxy",
-	"repro/internal/sfs",
-	"repro/internal/nfsclient",
-	"repro/internal/core",
-}
-
-func analyzers() []vet.Analyzer {
-	return []vet.Analyzer{
-		vet.XDRSymmetry{},
-		vet.LockOverIO{Packages: lockIOPackages},
-		vet.UnlockedFieldRead{},
-		vet.SwallowedError{},
-		vet.LockOrder{},
-		vet.CtxDeadline{Packages: ctxDeadlinePackages},
-		vet.GoroutineLeak{},
-		vet.ReplayTableSync{},
-	}
-}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -90,9 +59,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chdir      = fs.String("C", ".", "analyze the module containing this directory")
 		ignorePath = fs.String("ignore", "", "allowlist file (default <module>/.sgfsvet-ignore)")
 		only       = fs.String("run", "", "comma-separated analyzer names to run (default all)")
+		runAll     = fs.Bool("all", false, "run the complete analyzer suite (overrides -run and per-analyzer flags)")
 		jsonOut    = fs.Bool("json", false, "emit a machine-readable report on stdout")
+		prune      = fs.Bool("prune", false, "rewrite the allowlist dropping stale entries (requires a full run)")
 	)
-	all := analyzers()
+	all := vet.DefaultAnalyzers()
 	enabled := make(map[string]*bool, len(all))
 	for _, a := range all {
 		enabled[a.Name()] = fs.Bool(a.Name(), true, "enable the "+a.Name()+" analyzer")
@@ -146,11 +117,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	allEnabled := true
 	var selected []vet.Analyzer
 	for _, a := range all {
-		if !*enabled[a.Name()] {
+		if !*runAll && !*enabled[a.Name()] {
 			allEnabled = false
 			continue
 		}
 		selected = append(selected, a)
+	}
+	if *runAll {
+		*only = ""
+		allEnabled = true
 	}
 	if *only != "" {
 		want := make(map[string]bool)
@@ -218,9 +193,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		(len(fs.Args()) == 1 && fs.Args()[0] == "./...")
 	if *only == "" && allEnabled && fullRun {
 		report.StaleIgnores = ignore.Unused()
+		if *prune {
+			removed, err := vet.PruneIgnore(ipath, report.StaleIgnores)
+			if err != nil {
+				fmt.Fprintln(stderr, "sgfs-vet: prune:", err)
+				return 2
+			}
+			if removed > 0 {
+				fmt.Fprintf(stderr, "sgfs-vet: pruned %d stale allowlist line(s) from %s\n", removed, ipath)
+			}
+			report.StaleIgnores = nil
+		}
 		for _, line := range report.StaleIgnores {
 			fmt.Fprintf(stderr, "sgfs-vet: %s:%d: allowlist entry matched nothing (stale?)\n", ipath, line)
 		}
+	} else if *prune {
+		fmt.Fprintln(stderr, "sgfs-vet: -prune needs a full run (all analyzers, whole module) to prove entries stale")
+		return 2
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)

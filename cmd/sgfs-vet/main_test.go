@@ -189,6 +189,78 @@ func TestRunIgnoreFile(t *testing.T) {
 	}
 }
 
+func TestRunAllOverridesSelection(t *testing.T) {
+	root := writeModule(t)
+	// -all restores the full suite even when flags try to narrow it.
+	code, stdout, _ := runVet(t, "-C", root, "-all", "-run", "swallowed-error", "-lock-order=false")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "lock-order cycle") {
+		t.Errorf("-all did not restore lock-order:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "is not checked") {
+		t.Errorf("-all did not restore swallowed-error:\n%s", stdout)
+	}
+}
+
+func TestRunPrune(t *testing.T) {
+	root := writeModule(t)
+	ignore := filepath.Join(root, ".sgfsvet-ignore")
+	content := "# findings accepted for the demo module\n" +
+		"lock-order demo/demo.go lock-order cycle\n" +
+		"lock-over-io never/matches nothing here\n" +
+		"swallowed-error demo/demo.go result of mayFail\n"
+	if err := os.WriteFile(ignore, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runVet(t, "-C", root, "-prune")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "pruned 1 stale allowlist line(s)") {
+		t.Errorf("stderr missing prune report: %s", stderr)
+	}
+	if strings.Contains(stderr, "matched nothing") {
+		t.Errorf("pruned entries still reported stale: %s", stderr)
+	}
+	after, err := os.ReadFile(ignore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# findings accepted for the demo module\n" +
+		"lock-order demo/demo.go lock-order cycle\n" +
+		"swallowed-error demo/demo.go result of mayFail\n"
+	if string(after) != want {
+		t.Errorf("pruned allowlist = %q, want %q", after, want)
+	}
+	// A second prune has nothing to remove and leaves the file alone.
+	code, _, stderr = runVet(t, "-C", root, "-prune")
+	if code != 0 {
+		t.Fatalf("second prune exit = %d; stderr:\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "pruned") {
+		t.Errorf("second prune removed lines: %s", stderr)
+	}
+}
+
+func TestRunPruneNeedsFullRun(t *testing.T) {
+	root := writeModule(t)
+	for _, args := range [][]string{
+		{"-C", root, "-prune", "-run", "swallowed-error"},
+		{"-C", root, "-prune", "-lock-order=false"},
+		{"-C", root, "-prune", "./demo"},
+	} {
+		code, _, stderr := runVet(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit = %d, want 2", args, code)
+		}
+		if !strings.Contains(stderr, "-prune needs a full run") {
+			t.Errorf("%v: stderr = %q, want full-run explanation", args, stderr)
+		}
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	root := writeModule(t)
 	if code, _, stderr := runVet(t, "-C", root, "-run", "bogus"); code != 2 {

@@ -1,6 +1,9 @@
 package nfs3
 
-import "repro/internal/xdr"
+import (
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
 
 // Write stability levels (stable_how).
 const (
@@ -279,8 +282,16 @@ func (a *WriteArgs) DecodeXDR(d *xdr.Decoder) {
 	a.Obj.DecodeXDR(d)
 	a.Offset = d.Uint64()
 	a.Count = d.Uint32()
+	if a.Count > PreferredIO {
+		// The server advertises wtmax = PreferredIO in FSINFO; a count
+		// beyond it is a protocol violation, and rejecting it here
+		// keeps the opaque that follows from allocating up to the
+		// XDR-level 64 MiB ceiling.
+		d.SetErr(vfs.ErrInval)
+		return
+	}
 	a.Stable = d.Uint32()
-	a.Data = d.Opaque()
+	a.Data = d.BoundedOpaque(PreferredIO)
 }
 
 // WriteRes is WRITE3res.

@@ -1,6 +1,7 @@
 package securechan
 
 import (
+	"bytes"
 	"io"
 	"math/rand"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/xdr"
 )
 
 // TestServerHandshakeRobustAgainstGarbage confirms a hostile peer
@@ -73,6 +75,70 @@ func TestClientHandshakeRobustAgainstGarbage(t *testing.T) {
 			t.Fatal("client hung on garbage server")
 		}
 	}
+}
+
+// FuzzHandshakeDecodeRoundTrip fuzzes the handshake wire codecs. The
+// handshake decoders face pre-authentication input — any TCP peer can
+// send a hello before proving identity — so they must never panic and
+// must bound what they allocate regardless of the length words in the
+// input. Accepted input must also re-encode to a canonical fixed point
+// (encode → decode → encode), dynamically cross-checking what the
+// xdr-symmetry analyzer proves statically over these hand-written
+// codecs.
+func FuzzHandshakeDecodeRoundTrip(f *testing.F) {
+	seedHello := &hello{
+		Version: protocolVersion,
+		Suites:  []Suite{SuiteAES256SHA1, SuiteRC4SHA1},
+		Chain:   [][]byte{{0x30, 0x82, 0x01}, {0x30, 0x82, 0x02}},
+		ECDHPub: bytes.Repeat([]byte{4}, 65),
+		Sig:     []byte{0x30, 0x45},
+	}
+	seedHello.Random[0] = 0xaa
+	seedFinished := &finished{Sig: []byte{0x30, 0x44}, MAC: bytes.Repeat([]byte{7}, 32)}
+	for kind, msg := range []xdr.Marshaler{seedHello, seedFinished} {
+		data, err := xdr.Marshal(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(kind, data)
+	}
+	f.Add(0, []byte{})
+	f.Add(1, []byte{0, 0, 0, 0})
+
+	fresh := func(kind int) interface {
+		xdr.Marshaler
+		xdr.Unmarshaler
+	} {
+		if kind == 0 {
+			return &hello{}
+		}
+		return &finished{}
+	}
+
+	f.Fuzz(func(t *testing.T, kind int, data []byte) {
+		if kind < 0 || kind > 1 {
+			return
+		}
+		msg := fresh(kind)
+		if err := xdr.Unmarshal(data, msg); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		first, err := xdr.Marshal(msg)
+		if err != nil {
+			t.Fatalf("re-encode of accepted %T failed: %v", msg, err)
+		}
+		again := fresh(kind)
+		if err := xdr.Unmarshal(first, again); err != nil {
+			t.Fatalf("decode of canonical %T encoding failed: %v", msg, err)
+		}
+		second, err := xdr.Marshal(again)
+		if err != nil {
+			t.Fatalf("second re-encode of %T failed: %v", msg, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%T encoding is not a fixed point:\n first=%x\nsecond=%x", msg, first, second)
+		}
+	})
 }
 
 // TestCryptoMeterAccounts verifies the Figures 5/6 hook: a metered

@@ -250,9 +250,14 @@ func hkdfExpand(secret []byte, label string, context []byte, length int) []byte 
 	return out[:length]
 }
 
+// deriveMaster turns the ECDH shared secret into the master secret and
+// consumes it: the input is zeroed and the ephemeral key dropped, so
+// after derivation the master is the only handshake secret still live.
 func (hs *handshakeState) deriveMaster(shared []byte) {
 	ctx := append(append([]byte{}, hs.clientRand[:]...), hs.serverRand[:]...)
 	hs.master = hkdfExpand(shared, "sgfs master secret", ctx, 48)
+	clear(shared)
+	hs.ecdhKey = nil
 }
 
 // directionKeys derives the encryption and MAC keys for one direction

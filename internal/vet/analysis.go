@@ -162,3 +162,35 @@ func (il *IgnoreList) Unused() []int {
 	}
 	return out
 }
+
+// PruneIgnore rewrites the allowlist at path dropping the given
+// 1-based line numbers (as reported by Unused after a full run).
+// Comments and blank lines are preserved. Returns how many lines were
+// removed; a missing file with nothing to drop is not an error.
+func PruneIgnore(path string, stale []int) (int, error) {
+	if len(stale) == 0 {
+		return 0, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	drop := make(map[int]bool, len(stale))
+	for _, n := range stale {
+		drop[n] = true
+	}
+	lines := strings.Split(string(data), "\n")
+	kept := lines[:0]
+	removed := 0
+	for i, line := range lines {
+		if drop[i+1] {
+			removed++
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	return removed, os.WriteFile(path, []byte(strings.Join(kept, "\n")), 0o644)
+}

@@ -1,0 +1,476 @@
+// Package cfg builds intraprocedural control-flow graphs for Go
+// function bodies and runs dataflow analyses over them. It is the
+// third-generation backbone of sgfs-vet: where the first two analyzer
+// generations walked the AST with ad-hoc state, analyses built on this
+// package reason about *where values flow* — through branches, loops,
+// switches, selects, labeled jumps and early returns — via a generic
+// worklist solver (solve.go) and a taint engine with pluggable
+// source/sink/sanitizer specs (taint.go).
+//
+// The graph is deliberately simple: basic blocks hold straight-line
+// statements (plus branch-condition expressions as marker nodes), and
+// edges carry the condition under which they are taken, so transfer
+// functions can refine facts on branch outcomes (the dominating
+// bound-check idiom `if n > max { return err }`). Function literals
+// are not inlined — each is its own graph; defers are kept as ordinary
+// nodes and interpreted by the analysis.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// Graph is the control-flow graph of one function body. Entry has no
+// predecessors; Exit collects every return and the fall-off-the-end
+// path and has no successors.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Block is a basic block: a maximal straight-line run of nodes. Nodes
+// are simple statements in source order, plus bare expressions for
+// evaluated branch conditions (if/for conditions, switch tags, case
+// expressions) so analyses observe their side conditions and calls.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+
+	preds int // populated by the builder for reachability checks
+}
+
+// Edge is one control transfer. When Cond is non-nil the edge is taken
+// only when Cond evaluates to Val; an unconditional edge has Cond nil.
+type Edge struct {
+	To   *Block
+	Cond ast.Expr
+	Val  bool
+}
+
+// Build constructs the CFG of body. The body of a FuncDecl or FuncLit
+// both work; nested function literals are NOT descended into (they are
+// separate functions — build a separate graph for each).
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.labels = make(map[string]*labelInfo)
+	b.stmts(body.List)
+	// Fall off the end of the body.
+	b.jump(b.g.Exit)
+	for _, blk := range b.g.Blocks {
+		for _, e := range blk.Succs {
+			e.To.preds++
+		}
+	}
+	return b.g
+}
+
+// Reachable reports whether blk can execute: it is the entry block or
+// has at least one predecessor. Code after an unconditional return or
+// branch lands in predecessor-less blocks.
+func (g *Graph) Reachable(blk *Block) bool {
+	return blk == g.Entry || blk.preds > 0
+}
+
+type labelInfo struct {
+	target   *Block // goto / loop-head target
+	breakTo  *Block // labeled break target (loops, switch, select)
+	contTo   *Block // labeled continue target (loops only)
+	resolved bool   // target wired (false while only forward gotos seen)
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// Innermost-first stacks of break/continue targets.
+	breaks []*Block
+	conts  []*Block
+
+	labels map[string]*labelInfo
+	// label pending on the next loop/switch/select statement.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge adds a conditional edge from the current block.
+func (b *builder) edge(to *Block, cond ast.Expr, val bool) {
+	b.cur.Succs = append(b.cur.Succs, Edge{To: to, Cond: cond, Val: val})
+}
+
+// jump ends the current block with an unconditional edge and starts a
+// fresh (possibly unreachable) one.
+func (b *builder) jump(to *Block) {
+	b.edge(to, nil, false)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		condBlk := b.cur
+		then := b.newBlock()
+		after := b.newBlock()
+		els := after
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		condBlk.Succs = append(condBlk.Succs,
+			Edge{To: then, Cond: s.Cond, Val: true},
+			Edge{To: els, Cond: s.Cond, Val: false})
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.jump(after)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.Succs = append(head.Succs,
+				Edge{To: body, Cond: s.Cond, Val: true},
+				Edge{To: after, Cond: s.Cond, Val: false})
+		} else {
+			head.Succs = append(head.Succs, Edge{To: body})
+		}
+		b.pushLoop(label, after, post)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.jump(post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.cur.Nodes = append(b.cur.Nodes, s.X)
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		// The RangeStmt itself is the head's node so transfer functions
+		// can bind the iteration variables from s.X.
+		head.Nodes = append(head.Nodes, s)
+		head.Succs = append(head.Succs, Edge{To: body}, Edge{To: after})
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.jump(head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, s.Tag == nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchClauses(label, s.Body.List, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		from := b.cur
+		b.pushLoop(label, after, nil)
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			from.Succs = append(from.Succs, Edge{To: blk})
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			b.jump(after)
+		}
+		b.popLoop()
+		if len(from.Succs) == 0 { // select {} blocks forever
+			from.Succs = append(from.Succs, Edge{To: after})
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			to := b.breakTarget(s.Label)
+			if to != nil {
+				b.jump(to)
+			}
+		case "continue":
+			to := b.contTarget(s.Label)
+			if to != nil {
+				b.jump(to)
+			}
+		case "goto":
+			if s.Label != nil {
+				li := b.label(s.Label.Name)
+				if !li.resolved && li.target == nil {
+					li.target = b.newBlock() // forward goto: pre-create
+				}
+				b.jump(li.target)
+			}
+		case "fallthrough":
+			// Handled by switchClauses via the clause list; as a
+			// statement it ends the block (the edge to the next case
+			// body was added there).
+		}
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// The loop/switch construct registers break/continue targets
+			// itself; mark the label pending for it.
+			b.pendingLabel = s.Label.Name
+			if li.target == nil {
+				li.target = b.newBlock()
+			}
+			li.resolved = true
+			b.jump(li.target)
+			b.cur = li.target
+			b.stmt(s.Stmt)
+		default:
+			if li.target == nil {
+				li.target = b.newBlock()
+			}
+			li.resolved = true
+			b.jump(li.target)
+			b.cur = li.target
+			b.stmt(s.Stmt)
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Straight-line statement: expr, assign, incdec, send, decl,
+		// defer, go, empty. Defer and go are interpreted by the
+		// analysis (their calls do not run here).
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchClauses lowers the case clauses of a switch. For an
+// expressionless switch (cond == true) single-expression cases become
+// an if/else-if chain so branch conditions reach the edge function —
+// this is what lets a `switch { case n > max: return }` bound check
+// sanitize n. Tagged switches over-approximate: every case is directly
+// reachable.
+func (b *builder) switchClauses(label string, clauses []ast.Stmt, exprless bool) {
+	after := b.newBlock()
+	b.pushLoop(label, after, nil)
+	defer func() {
+		b.popLoop()
+		b.cur = after
+	}()
+
+	// Pre-create body blocks so fallthrough can reach the next one.
+	bodies := make([]*Block, 0, len(clauses))
+	ccs := make([]*ast.CaseClause, 0, len(clauses))
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			ccs = append(ccs, cc)
+			bodies = append(bodies, b.newBlock())
+		}
+	}
+	defaultBody := -1
+	test := b.cur
+	for i, cc := range ccs {
+		if cc.List == nil {
+			defaultBody = i
+			continue // wired below, from the end of the test chain
+		}
+		if exprless && len(cc.List) == 1 {
+			// if/else-if chain with a real condition.
+			test.Nodes = append(test.Nodes, cc.List[0])
+			next := b.newBlock()
+			test.Succs = append(test.Succs,
+				Edge{To: bodies[i], Cond: cc.List[0], Val: true},
+				Edge{To: next, Cond: cc.List[0], Val: false})
+			test = next
+		} else {
+			for _, e := range cc.List {
+				test.Nodes = append(test.Nodes, e)
+			}
+			test.Succs = append(test.Succs, Edge{To: bodies[i]})
+		}
+	}
+	// The no-case-matched path: the default body, or fall past the
+	// whole switch.
+	if defaultBody >= 0 {
+		test.Succs = append(test.Succs, Edge{To: bodies[defaultBody]})
+	} else {
+		test.Succs = append(test.Succs, Edge{To: after})
+	}
+
+	for i, cc := range ccs {
+		b.cur = bodies[i]
+		b.stmts(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(bodies) {
+			b.jump(bodies[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+}
+
+// Inspect visits the subtree of one block node like ast.Inspect, but
+// skips regions the graph represents elsewhere: the body of a
+// *ast.RangeStmt head node (its statements live in the loop-body
+// block) and nested function literals (separate functions with
+// separate graphs). Sink visitors should use this instead of
+// ast.Inspect so each statement is seen exactly once, under the state
+// that is actually in force there.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if !f(r) {
+			return
+		}
+		if r.Key != nil {
+			Inspect(r.Key, f)
+		}
+		if r.Value != nil {
+			Inspect(r.Value, f)
+		}
+		Inspect(r.X, f)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// takeLabel consumes the label pending for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.conts = append(b.conts, cont)
+	if label != "" {
+		li := b.label(label)
+		li.breakTo = brk
+		li.contTo = cont
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+}
+
+func (b *builder) breakTarget(label *ast.Ident) *Block {
+	if label != nil {
+		if li := b.labels[label.Name]; li != nil && li.breakTo != nil {
+			return li.breakTo
+		}
+		return nil
+	}
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if b.breaks[i] != nil {
+			return b.breaks[i]
+		}
+	}
+	return nil
+}
+
+func (b *builder) contTarget(label *ast.Ident) *Block {
+	if label != nil {
+		if li := b.labels[label.Name]; li != nil && li.contTo != nil {
+			return li.contTo
+		}
+		return nil
+	}
+	for i := len(b.conts) - 1; i >= 0; i-- {
+		if b.conts[i] != nil {
+			return b.conts[i]
+		}
+	}
+	return nil
+}

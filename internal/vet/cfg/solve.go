@@ -1,0 +1,96 @@
+package cfg
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// Fact is an analysis-specific abstract state. Facts must be treated
+// as immutable by the transfer functions: Node and Edge return a new
+// fact (or the input unchanged) rather than mutating in place, so one
+// fact can flow into several successors.
+type Fact any
+
+// Transfer defines one dataflow analysis over a Graph.
+type Transfer struct {
+	// Entry is the fact at function entry.
+	Entry Fact
+	// Node flows a fact through one straight-line node.
+	Node func(f Fact, n ast.Node) Fact
+	// Edge refines the fact along a conditional edge (nil-able); this
+	// is where branch conditions sanitize values. Unconditional edges
+	// pass the fact through unchanged without calling Edge.
+	Edge func(f Fact, e Edge) Fact
+	// Join merges two facts at a control-flow merge point. Join is
+	// never called with a nil operand: nil (unvisited) joins as the
+	// other operand.
+	Join func(a, b Fact) Fact
+	// Equal reports whether two facts are equivalent; it bounds the
+	// fixpoint iteration and must be reflexive over Join results.
+	Equal func(a, b Fact) bool
+}
+
+// Solve runs the worklist algorithm to a fixpoint and returns the fact
+// at entry to each reachable block. Unreachable blocks are absent from
+// the result map.
+func Solve(g *Graph, t Transfer) map[*Block]Fact {
+	in := make(map[*Block]Fact, len(g.Blocks))
+	in[g.Entry] = t.Entry
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+
+	// Safety valve: no sane function needs more passes than this; a
+	// non-monotone spec must not loop forever.
+	budget := (len(g.Blocks) + 1) * 64
+
+	for len(work) > 0 && budget > 0 {
+		budget--
+		// Deterministic order keeps diagnostics and join tie-breaks
+		// stable across runs.
+		sort.Slice(work, func(i, j int) bool { return work[i].Index < work[j].Index })
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := in[blk]
+		for _, n := range blk.Nodes {
+			out = t.Node(out, n)
+		}
+		for _, e := range blk.Succs {
+			f := out
+			if e.Cond != nil && t.Edge != nil {
+				f = t.Edge(f, e)
+			}
+			old, seen := in[e.To]
+			merged := f
+			if seen {
+				merged = t.Join(old, f)
+			}
+			if !seen || !t.Equal(old, merged) {
+				in[e.To] = merged
+				if !queued[e.To] {
+					queued[e.To] = true
+					work = append(work, e.To)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// Replay re-runs the transfer over every reachable block after Solve,
+// invoking visit with the fact in force just before each node. This is
+// where analyses check sinks: during Solve states are still rising, so
+// reporting there would duplicate or misreport.
+func Replay(g *Graph, t Transfer, in map[*Block]Fact, visit func(f Fact, n ast.Node)) {
+	for _, blk := range g.Blocks {
+		f, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			visit(f, n)
+			f = t.Node(f, n)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Package vet implements sgfs-vet, a repository-specific static
 // analysis suite built purely on the standard library's go/ast,
-// go/parser and go/types. It carries eight analyzers tuned to the
+// go/parser and go/types. It carries eleven analyzers tuned to the
 // invariants this codebase depends on but the compiler cannot check.
 //
 // Syntactic, per-package:
@@ -25,6 +25,18 @@
 //     channel with no cancellation edge in sight.
 //   - replay-table-sync: //sgfsvet:replay-table annotated maps must
 //     cover exactly the target package's Proc* constants.
+//
+// Path-sensitive, on the CFG + taint engine in internal/vet/cfg
+// (third generation; lock-over-io also runs on the CFG now):
+//
+//   - secret-flow: key material (private keys, shared/master/session
+//     secrets, derived keys) must not reach logs, error strings, or
+//     plaintext writes.
+//   - unbounded-alloc: wire-decoded integers must not reach make or
+//     io.CopyN sizes without a dominating bound check.
+//   - weak-rand: math/rand values must not become cryptographic
+//     material (time.Duration conversions — backoff jitter — are the
+//     sanctioned use).
 //
 // See DESIGN.md ("Static analysis: sgfs-vet") for the full contract
 // and instructions for adding analyzers.

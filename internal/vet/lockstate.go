@@ -242,6 +242,10 @@ func (w *lockWalker) scanLHS(e ast.Expr, held map[string]token.Pos) {
 // sync.RWMutex and returns the mutex selector, its normalized name and
 // whether the operation acquires it.
 func (w *lockWalker) lockOp(e ast.Expr) (sel *ast.SelectorExpr, name string, locked, ok bool) {
+	return lockOpOf(w.pkg, e)
+}
+
+func lockOpOf(pkg *Package, e ast.Expr) (sel *ast.SelectorExpr, name string, locked, ok bool) {
 	call, isCall := e.(*ast.CallExpr)
 	if !isCall {
 		return nil, "", false, false
@@ -257,7 +261,7 @@ func (w *lockWalker) lockOp(e ast.Expr) (sel *ast.SelectorExpr, name string, loc
 	default:
 		return nil, "", false, false
 	}
-	if !isSyncLocker(w.pkg.Info.Types[sel.X].Type) {
+	if !isSyncLocker(pkg.Info.Types[sel.X].Type) {
 		return nil, "", false, false
 	}
 	return sel, exprString(sel.X), locked, true

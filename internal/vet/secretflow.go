@@ -1,0 +1,170 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"repro/internal/vet/cfg"
+)
+
+// SecretFlow flags key material reaching observable sinks. The secure
+// channel's privacy claim dies the moment a private key, ECDH shared
+// secret, or derived session secret lands in a log line, an error
+// string, or an unencrypted connection — all places developers
+// reflexively put values while debugging. Sources are typed (ECDH /
+// ECDSA private keys, parsed X.509 keys), named (the channel's
+// master/session secret fields, hkdf derivation results), and
+// propagate one level through direct calls. One-way transforms
+// (HMACs, hashes, signatures) launder taint deliberately: a
+// transcript MAC derived *from* the master secret is designed to be
+// transmitted.
+type SecretFlow struct{}
+
+// Name implements Analyzer.
+func (SecretFlow) Name() string { return "secret-flow" }
+
+// Run implements Analyzer (single-package mode).
+func (a SecretFlow) Run(pkg *Package) []Diagnostic {
+	return a.RunModule([]*Package{pkg})
+}
+
+// RunModule implements ModuleAnalyzer.
+func (a SecretFlow) RunModule(pkgs []*Package) []Diagnostic {
+	base := func(pkg *Package) *cfg.Spec {
+		return &cfg.Spec{
+			Info:     pkg.Info,
+			SourceOf: func(e ast.Expr) (string, bool) { return secretSource(pkg, e) },
+		}
+	}
+	summaries := returnSummaries(pkgs, base)
+
+	var diags []Diagnostic
+	for _, tgt := range taintTargets(pkgs) {
+		tgt := tgt
+		pkg := tgt.pkg
+		spec := base(pkg)
+		spec.CallTaint = func(call *ast.CallExpr, recv *cfg.Source, args []*cfg.Source) *cfg.Source {
+			fn, path := stdCallee(pkg, call)
+			if fn == nil {
+				return nil
+			}
+			// priv.Bytes() is still the private key; everything else on
+			// a key object (PublicKey, Public, Curve) is public, and
+			// one-way crypto (hmac, hash sums) sanitizes by default.
+			if recv != nil && (path == "crypto/ecdh" || path == "crypto/ecdsa") && fn.Name() == "Bytes" {
+				return recv
+			}
+			if desc, ok := summaries[fn]; ok {
+				return &cfg.Source{Pos: call.Pos(), Desc: desc}
+			}
+			return nil
+		}
+		spec.Sink = func(n ast.Node, taintOf func(ast.Expr) *cfg.Source) {
+			cfg.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sink := leakSink(pkg, call)
+				if sink == "" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if src := taintOf(arg); src != nil {
+						diags = append(diags, Diagnostic{
+							Analyzer: a.Name(),
+							Pos:      pkg.Fset.Position(call.Pos()),
+							Message: fmt.Sprintf("%s flows into %s in %s",
+								src.Desc, sink, tgt.decl.Name.Name),
+						})
+						break
+					}
+				}
+				return true
+			})
+		}
+		cfg.Run(tgt.body, spec)
+	}
+	return diags
+}
+
+// secretFields are module struct fields that hold channel secrets.
+var secretFields = map[string]bool{
+	"master":        true,
+	"masterSecret":  true,
+	"sessionSecret": true,
+	"sessionKey":    true,
+}
+
+// secretDerivers are module helpers whose results are key material.
+var secretDerivers = map[string]bool{
+	"hkdfExpand":    true,
+	"directionKeys": true,
+}
+
+// secretSource recognizes expressions that yield key material.
+func secretSource(pkg *Package, e ast.Expr) (string, bool) {
+	// Typed sources: any value of a private-key type.
+	if tv, ok := pkg.Info.Types[e]; ok && tv.IsValue() {
+		if isNamed(tv.Type, "crypto/ecdh", "PrivateKey") {
+			return "ECDH private key", true
+		}
+		if isNamed(tv.Type, "crypto/ecdsa", "PrivateKey") {
+			return "ECDSA private key", true
+		}
+	}
+	// Named field sources: the channel's stored secrets.
+	if sel, ok := e.(*ast.SelectorExpr); ok && secretFields[sel.Sel.Name] {
+		if f := fieldVar(pkg, sel); f != nil && f.Pkg() != nil && strings.HasPrefix(f.Pkg().Path(), "repro/") {
+			return "channel secret " + f.Name(), true
+		}
+	}
+	// Call sources: ECDH key agreement and key derivation helpers.
+	if call, ok := e.(*ast.CallExpr); ok {
+		if fn, path := stdCallee(pkg, call); fn != nil {
+			if path == "crypto/ecdh" && fn.Name() == "ECDH" {
+				return "ECDH shared secret", true
+			}
+			if path == "crypto/x509" && strings.HasPrefix(fn.Name(), "ParsePKCS8") {
+				return "parsed PKCS#8 private key", true
+			}
+			if strings.HasPrefix(path, "repro/") && secretDerivers[fn.Name()] {
+				return "derived key material (" + fn.Name() + ")", true
+			}
+		}
+	}
+	return "", false
+}
+
+// leakSink classifies a call whose arguments must never be secret:
+// formatting/logging, error construction, and writes to a raw
+// connection (anything net-typed — the securechan Conn encrypts and is
+// not a net type).
+func leakSink(pkg *Package, call *ast.CallExpr) string {
+	fn, path := stdCallee(pkg, call)
+	if fn == nil {
+		return ""
+	}
+	switch path {
+	case "fmt", "log", "log/slog":
+		return path + "." + fn.Name()
+	case "errors":
+		if fn.Name() == "New" {
+			return "errors.New"
+		}
+	}
+	if strings.HasPrefix(path, "repro/") {
+		switch fn.Name() {
+		case "writeFrame", "writeHandshakeMsg":
+			return "plaintext frame write (" + fn.Name() + ")"
+		}
+	}
+	if fn.Name() == "Write" || fn.Name() == "WriteString" {
+		if named := recvNamed(pkg, call); named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "net" {
+			return "plaintext net.Conn write"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,103 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/vet/cfg"
+)
+
+// taintTarget is one analyzable function body: a declared function or
+// a function literal (reported under the enclosing declaration's
+// name). Literals get their own CFG — the engine does not inline them.
+type taintTarget struct {
+	pkg  *Package
+	decl *ast.FuncDecl // enclosing declaration, for diagnostics
+	fn   *types.Func   // nil for function literals
+	body *ast.BlockStmt
+}
+
+// taintTargets collects every function body in the module, literals
+// included, in deterministic (package, file, declaration) order.
+func taintTargets(pkgs []*Package) []taintTarget {
+	var out []taintTarget
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				out = append(out, taintTarget{pkg: pkg, decl: fd, fn: fn, body: fd.Body})
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						out = append(out, taintTarget{pkg: pkg, decl: fd, body: lit.Body})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// returnSummaries computes the one-level interprocedural summary for a
+// source policy: the set of module functions that can return a value
+// tainted by one of the policy's own sources (parameters are assumed
+// clean, and calls inside the summarized function do NOT consult other
+// summaries — propagation is one level deep by design; see DESIGN.md).
+// The returned map yields a description for each tainting function.
+func returnSummaries(pkgs []*Package, mkSpec func(pkg *Package) *cfg.Spec) map[*types.Func]string {
+	out := make(map[*types.Func]string)
+	for _, tgt := range taintTargets(pkgs) {
+		if tgt.fn == nil {
+			continue
+		}
+		if tgt.fn.Type().(*types.Signature).Results().Len() == 0 {
+			continue
+		}
+		spec := mkSpec(tgt.pkg)
+		fn := tgt.fn
+		spec.Sink = func(n ast.Node, taintOf func(ast.Expr) *cfg.Source) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			for _, r := range ret.Results {
+				if src := taintOf(r); src != nil {
+					if _, seen := out[fn]; !seen {
+						out[fn] = src.Desc
+					}
+				}
+			}
+		}
+		cfg.Run(tgt.body, spec)
+	}
+	return out
+}
+
+// stdCallee resolves a call to a function or method object and returns
+// it with its defining package path ("" for builtins, locals and
+// indirect calls).
+func stdCallee(pkg *Package, call *ast.CallExpr) (*types.Func, string) {
+	fn := calleeOf(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, ""
+	}
+	return fn, fn.Pkg().Path()
+}
+
+// recvNamed returns the named type of a method call's receiver
+// expression, nil for non-method calls.
+func recvNamed(pkg *Package, call *ast.CallExpr) *types.Named {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	return namedType(s.Recv())
+}

@@ -1,0 +1,98 @@
+// Package secretflow exercises the secret-flow analyzer: key material
+// must not reach logs, error strings, or plaintext connections.
+package secretflow
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+)
+
+// state mirrors the channel's handshake state: master is a recognized
+// secret field name.
+type state struct {
+	master []byte
+}
+
+// hkdfExpand stands in for the module's derivation helper; its results
+// are key material by name.
+func hkdfExpand(secret []byte, label string) []byte { return secret }
+
+// writeFrame stands in for the raw pre-encryption frame writer.
+func writeFrame(c net.Conn, b []byte) error {
+	_, err := c.Write(b)
+	return err
+}
+
+// logsKey formats a freshly generated private key into an error.
+func logsKey() error {
+	key, _ := ecdh.P256().GenerateKey(rand.Reader)
+	return fmt.Errorf("generated key %v", key) // want "ECDH private key"
+}
+
+// logsShared prints the ECDH shared secret.
+func logsShared(priv *ecdh.PrivateKey, pub *ecdh.PublicKey) {
+	shared, _ := priv.ECDH(pub)
+	fmt.Println(shared) // want "ECDH shared secret"
+}
+
+// logsPublic is fine: the public key is public.
+func logsPublic(priv *ecdh.PrivateKey) {
+	fmt.Println(priv.PublicKey())
+}
+
+// errShared builds an error string from the shared secret.
+func errShared(priv *ecdh.PrivateKey, pub *ecdh.PublicKey) error {
+	shared, _ := priv.ECDH(pub)
+	return errors.New("shared=" + string(shared)) // want "errors.New"
+}
+
+// logsECDSA prints a signing key.
+func logsECDSA(cred *ecdsa.PrivateKey) {
+	fmt.Printf("key=%v\n", cred) // want "ECDSA private key"
+}
+
+// logsParsed prints a parsed PKCS#8 key.
+func logsParsed(der []byte) {
+	k, _ := x509.ParsePKCS8PrivateKey(der)
+	fmt.Println(k) // want "PKCS#8"
+}
+
+// leakConn writes the master secret to a raw connection.
+func (s *state) leakConn(c net.Conn) {
+	c.Write(s.master) // want "channel secret master"
+}
+
+// leakFrame sends the master secret through the raw frame writer.
+func (s *state) leakFrame(c net.Conn) {
+	writeFrame(c, s.master) // want "channel secret master"
+}
+
+// logDerived logs derived key material.
+func (s *state) logDerived() {
+	keys := hkdfExpand(s.master, "keys")
+	log.Printf("keys=%x", keys) // want "derived key material"
+}
+
+// sendMAC is fine: an HMAC over the transcript is designed to be
+// transmitted — the one-way transform launders the taint.
+func (s *state) sendMAC(c net.Conn, transcript []byte) {
+	h := hmac.New(sha256.New, s.master)
+	h.Write(transcript)
+	c.Write(h.Sum(nil))
+}
+
+// currentMaster returns the secret; callers inherit the taint through
+// the one-level summary.
+func (s *state) currentMaster() []byte { return s.master }
+
+func (s *state) logViaHelper() {
+	fmt.Println(s.currentMaster()) // want "channel secret master"
+}

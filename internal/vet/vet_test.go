@@ -115,6 +115,21 @@ func TestReplayTableSync(t *testing.T) {
 	runFixture(t, "replaytable", ReplayTableSync{})
 }
 
+func TestSecretFlow(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "secretflow", SecretFlow{})
+}
+
+func TestUnboundedAlloc(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "unboundedalloc", UnboundedAlloc{})
+}
+
+func TestWeakRand(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "weakrand", WeakRand{})
+}
+
 func TestCtxDeadlinePackageFilter(t *testing.T) {
 	t.Parallel()
 	root, err := FindModuleRoot(".")

@@ -340,6 +340,10 @@ func (ex *extractor) primEvent(name string, call *ast.CallExpr) []wireEvent {
 		return []wireEvent{{kind: evOpt, field: field, pos: call.Pos()}}
 	case "OpaqueInto":
 		name = "Opaque" // wire-identical read variant
+	case "BoundedOpaque":
+		// Wire-identical to Opaque; the argument is a length bound,
+		// not a field operand.
+		return []wireEvent{{kind: evPrim, name: "Opaque", pos: call.Pos()}}
 	}
 	field := ""
 	if ex.side == encodeSide && len(call.Args) >= 1 {

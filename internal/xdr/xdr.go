@@ -204,6 +204,27 @@ func (d *Decoder) Opaque() []byte {
 	return p
 }
 
+// BoundedOpaque decodes variable-length opaque data, rejecting any
+// length beyond max before allocating. Wire-identical to Opaque; use
+// it when the protocol advertises a transfer ceiling (NFS3 wtmax) so
+// a hostile length word cannot force a MaxElementSize allocation.
+func (d *Decoder) BoundedOpaque(max uint32) []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > max {
+		d.err = fmt.Errorf("%w: %d bytes (bound %d)", ErrElementTooLarge, n, max)
+		return nil
+	}
+	p := make([]byte, n)
+	d.FixedOpaque(p)
+	if d.err != nil {
+		return nil
+	}
+	return p
+}
+
 // OpaqueInto decodes variable-length opaque data into dst when it fits,
 // avoiding an allocation; otherwise it allocates. It returns the slice
 // holding the data.

@@ -2,6 +2,7 @@ package xdr
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math"
 	"testing"
@@ -151,6 +152,30 @@ func TestOpaqueIntoGrows(t *testing.T) {
 	got := d.OpaqueInto(make([]byte, 0, 4))
 	if !bytes.Equal(got, payload) {
 		t.Fatal("mismatch after growth")
+	}
+}
+
+func TestBoundedOpaque(t *testing.T) {
+	var b Buffer
+	e := NewEncoder(&b)
+	payload := []byte("within-bound")
+	e.Opaque(payload)
+	d := NewDecoder(&b)
+	if got := d.BoundedOpaque(32); !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+
+	b.Reset()
+	e.Opaque(payload)
+	d = NewDecoder(&b)
+	if got := d.BoundedOpaque(uint32(len(payload)) - 1); got != nil {
+		t.Fatal("expected nil result beyond bound")
+	}
+	if !errors.Is(d.Err(), ErrElementTooLarge) {
+		t.Fatalf("err = %v, want ErrElementTooLarge", d.Err())
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos fuzz-short sgfs-vet check
+.PHONY: build test vet race chaos fuzz-short bench sgfs-vet check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,15 @@ fuzz-short:
 			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg; \
 		done; \
 	done
+
+# Data-path microbenchmarks: oncrpc call-path and securechan
+# seal/open allocations, plus the WAN flush-scaling sweep (workers
+# 1/2/4/8 under an emulated 20 ms RTT). Results land in BENCH_5.json;
+# CI runs at -benchtime 1x and archives the file, full runs use e.g.
+# BENCHTIME=100x. The paper-figure suite stays in cmd/sgfs-bench.
+BENCHTIME ?= 1x
+bench:
+	$(GO) run ./cmd/sgfs-bench5 -benchtime $(BENCHTIME) -out BENCH_5.json
 
 # Repo-specific analyzers (xdr-symmetry, lock-over-io,
 # unlocked-field-read, swallowed-error, lock-order, ctx-deadline,

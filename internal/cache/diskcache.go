@@ -11,6 +11,15 @@
 // server on Flush — typically at session close. Dirty blocks of a file
 // that is removed before the flush are cancelled, which is how the
 // Seismic benchmark's temporary outputs never cross the WAN (§6.3.2).
+//
+// The cache is sharded by file handle: each shard has its own mutex,
+// block/attr/access maps, and LRU list, so concurrent requests for
+// unrelated files (the pipelined flush workers, the readahead pool,
+// and foreground NFS traffic) do not serialize on one global lock.
+// Block file pread/pwrite syscalls always happen outside the shard
+// lock. Capacity is accounted globally — a single hot file may use the
+// whole budget — and each shard evicts its own clean LRU blocks while
+// the global total is over capacity.
 package cache
 
 import (
@@ -18,13 +27,21 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/nfs3"
 )
+
+// shardCount is the number of independent cache shards. Handles are
+// distributed by FNV-1a, so any workload touching more than a handful
+// of files spreads across locks.
+const shardCount = 16
 
 // DiskCache is a block/attribute/access cache backed by a directory.
 // It is safe for concurrent use.
@@ -32,17 +49,38 @@ type DiskCache struct {
 	dir       string
 	blockSize int
 	capacity  int64
+	used      atomic.Int64
 
-	mu    sync.Mutex
-	files map[string]*cacheFile
-	used  int64
-	lru   *list.List // *blockMeta, front = most recent
+	shards [shardCount]cacheShard
+}
 
+// cacheShard holds the metadata for one slice of the handle space.
+type cacheShard struct {
+	mu     sync.Mutex
+	files  map[string]*cacheFile
+	lru    *list.List // *blockMeta, front = most recent
 	attrs  map[string]nfs3.Fattr3
 	access map[string]uint32 // fh -> granted mask for the session user
+	stats  Stats
 
-	stats Stats
+	lockWaits  atomic.Uint64
+	lockWaitNs atomic.Int64
 }
+
+// lock acquires the shard mutex, counting contended acquisitions and
+// the time spent waiting so the sharding's effect is observable in
+// Stats.
+func (s *cacheShard) lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	s.lockWaits.Add(1)
+	s.lockWaitNs.Add(time.Since(start).Nanoseconds())
+}
+
+func (s *cacheShard) unlock() { s.mu.Unlock() }
 
 // Stats counts cache activity.
 type Stats struct {
@@ -54,6 +92,13 @@ type Stats struct {
 	AccessMisses   uint64
 	FlushedBytes   uint64
 	CancelledBytes uint64
+	// ReadaheadHits counts GetBlock hits whose block was brought in by
+	// the proxy's readahead rather than by demand fetch.
+	ReadaheadHits uint64
+	// LockWaits and LockWaitNanos count contended shard-lock
+	// acquisitions and the total time spent waiting for them.
+	LockWaits     uint64
+	LockWaitNanos uint64
 }
 
 type cacheFile struct {
@@ -63,11 +108,12 @@ type cacheFile struct {
 }
 
 type blockMeta struct {
-	fh    string
-	idx   uint64
-	len   int
-	dirty bool
-	elem  *list.Element
+	fh         string
+	idx        uint64
+	len        int
+	dirty      bool
+	prefetched bool // brought in by readahead; cleared on first hit
+	elem       *list.Element
 }
 
 // New creates a disk cache in dir (created if absent) with the given
@@ -76,29 +122,36 @@ func New(dir string, blockSize int, capacity int64) (*DiskCache, error) {
 	if err := os.MkdirAll(dir, 0700); err != nil {
 		return nil, fmt.Errorf("cache: create dir: %w", err)
 	}
-	return &DiskCache{
-		dir:       dir,
-		blockSize: blockSize,
-		capacity:  capacity,
-		files:     make(map[string]*cacheFile),
-		lru:       list.New(),
-		attrs:     make(map[string]nfs3.Fattr3),
-		access:    make(map[string]uint32),
-	}, nil
+	c := &DiskCache{dir: dir, blockSize: blockSize, capacity: capacity}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.files = make(map[string]*cacheFile)
+		s.lru = list.New()
+		s.attrs = make(map[string]nfs3.Fattr3)
+		s.access = make(map[string]uint32)
+	}
+	return c, nil
 }
 
 // BlockSize returns the configured block size.
 func (c *DiskCache) BlockSize() int { return c.blockSize }
+
+// shard maps a file-handle key to its shard.
+func (c *DiskCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%shardCount]
+}
 
 func fhName(fh string) string {
 	sum := sha256.Sum256([]byte(fh))
 	return hex.EncodeToString(sum[:16]) + ".blk"
 }
 
-// file returns (opening or creating) the cache file for fh; the caller
-// holds mu.
-func (c *DiskCache) file(fh string, create bool) (*cacheFile, error) {
-	if cf, ok := c.files[fh]; ok {
+// fileLocked returns (opening or creating) the cache file for fh; the
+// caller holds s's lock.
+func (c *DiskCache) fileLocked(s *cacheShard, fh string, create bool) (*cacheFile, error) {
+	if cf, ok := s.files[fh]; ok {
 		return cf, nil
 	}
 	if !create {
@@ -110,32 +163,41 @@ func (c *DiskCache) file(fh string, create bool) (*cacheFile, error) {
 		return nil, fmt.Errorf("cache: open block file: %w", err)
 	}
 	cf := &cacheFile{path: path, f: f, blocks: make(map[uint64]*blockMeta)}
-	c.files[fh] = cf
+	s.files[fh] = cf
 	return cf, nil
 }
 
 // GetBlock returns the cached block data, or ok=false on a miss.
 func (c *DiskCache) GetBlock(fh nfs3.FH3, idx uint64) ([]byte, bool) {
 	key := string(fh.Data)
-	c.mu.Lock()
-	cf := c.files[key]
+	s := c.shard(key)
+	s.lock()
+	cf := s.files[key]
 	if cf == nil {
-		c.stats.BlockMisses++
-		c.mu.Unlock()
+		s.stats.BlockMisses++
+		s.unlock()
 		return nil, false
 	}
 	bm, ok := cf.blocks[idx]
 	if !ok {
-		c.stats.BlockMisses++
-		c.mu.Unlock()
+		s.stats.BlockMisses++
+		s.unlock()
 		return nil, false
 	}
-	c.stats.BlockHits++
-	c.lru.MoveToFront(bm.elem)
+	s.stats.BlockHits++
+	if bm.prefetched {
+		bm.prefetched = false
+		s.stats.ReadaheadHits++
+	}
+	s.lru.MoveToFront(bm.elem)
 	length := bm.len
 	f := cf.f
-	c.mu.Unlock()
+	s.unlock()
 
+	// Read outside the lock; block files are never shrunk so the
+	// offset is stable (the file may be deleted concurrently by
+	// DropFile/Close, in which case the open descriptor still serves
+	// the data).
 	buf := make([]byte, length)
 	if _, err := f.ReadAt(buf, int64(idx)*int64(c.blockSize)); err != nil {
 		return nil, false
@@ -143,20 +205,47 @@ func (c *DiskCache) GetBlock(fh nfs3.FH3, idx uint64) ([]byte, bool) {
 	return buf, true
 }
 
+// Contains reports whether the block is cached, without touching hit
+// statistics, the LRU, or the prefetched flag. The readahead machinery
+// uses it to skip blocks already present.
+func (c *DiskCache) Contains(fh nfs3.FH3, idx uint64) bool {
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	cf := s.files[key]
+	if cf == nil {
+		return false
+	}
+	_, ok := cf.blocks[idx]
+	return ok
+}
+
 // PutBlock stores block data. dirty marks it as written locally and
 // not yet on the server. Eviction discards clean blocks only; dirty
 // blocks are pinned until flushed or cancelled (the cache directory is
 // the stable store backing the proxy's write-back guarantee).
 func (c *DiskCache) PutBlock(fh nfs3.FH3, idx uint64, data []byte, dirty bool) error {
+	return c.putBlock(fh, idx, data, dirty, false)
+}
+
+// PutPrefetched stores a clean block brought in by readahead, marking
+// it so the first demand hit is counted in Stats.ReadaheadHits.
+func (c *DiskCache) PutPrefetched(fh nfs3.FH3, idx uint64, data []byte) error {
+	return c.putBlock(fh, idx, data, false, true)
+}
+
+func (c *DiskCache) putBlock(fh nfs3.FH3, idx uint64, data []byte, dirty, prefetched bool) error {
 	key := string(fh.Data)
-	c.mu.Lock()
-	cf, err := c.file(key, true)
+	s := c.shard(key)
+	s.lock()
+	cf, err := c.fileLocked(s, key, true)
 	if err != nil {
-		c.mu.Unlock()
+		s.unlock()
 		return err
 	}
 	f := cf.f
-	c.mu.Unlock()
+	s.unlock()
 
 	// Write outside the lock; block files are never shrunk so the
 	// offset is stable.
@@ -164,28 +253,34 @@ func (c *DiskCache) PutBlock(fh nfs3.FH3, idx uint64, data []byte, dirty bool) e
 		return fmt.Errorf("cache: write block: %w", err)
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	if bm, ok := cf.blocks[idx]; ok {
-		c.used += int64(len(data)) - int64(bm.len)
+		c.used.Add(int64(len(data)) - int64(bm.len))
 		bm.len = len(data)
 		bm.dirty = bm.dirty || dirty
-		c.lru.MoveToFront(bm.elem)
+		// A demand put of data the prefetcher also fetched (or a local
+		// write over it) ends its life as a readahead block.
+		bm.prefetched = bm.prefetched && prefetched
+		s.lru.MoveToFront(bm.elem)
 	} else {
-		bm := &blockMeta{fh: key, idx: idx, len: len(data), dirty: dirty}
-		bm.elem = c.lru.PushFront(bm)
+		bm := &blockMeta{fh: key, idx: idx, len: len(data), dirty: dirty, prefetched: prefetched}
+		bm.elem = s.lru.PushFront(bm)
 		cf.blocks[idx] = bm
-		c.used += int64(len(data))
+		c.used.Add(int64(len(data)))
 	}
-	c.evictLocked()
+	c.evictLocked(s)
 	return nil
 }
 
-// evictLocked drops clean LRU blocks until within capacity.
-func (c *DiskCache) evictLocked() {
-	for c.used > c.capacity {
+// evictLocked drops this shard's clean LRU blocks while the cache as a
+// whole is over capacity. Capacity is global, so a shard holding no
+// clean blocks leaves eviction to the shards where insertions (and
+// thus growth) are happening.
+func (c *DiskCache) evictLocked(s *cacheShard) {
+	for c.used.Load() > c.capacity {
 		var victim *blockMeta
-		for e := c.lru.Back(); e != nil; e = e.Prev() {
+		for e := s.lru.Back(); e != nil; e = e.Prev() {
 			bm := e.Value.(*blockMeta)
 			if !bm.dirty {
 				victim = bm
@@ -193,27 +288,30 @@ func (c *DiskCache) evictLocked() {
 			}
 		}
 		if victim == nil {
-			return // everything dirty; over-capacity until flush
+			return // everything here dirty; over-capacity until flush
 		}
-		c.removeBlockLocked(victim)
+		c.removeBlockLocked(s, victim)
 	}
 }
 
-func (c *DiskCache) removeBlockLocked(bm *blockMeta) {
-	c.lru.Remove(bm.elem)
-	if cf := c.files[bm.fh]; cf != nil {
+func (c *DiskCache) removeBlockLocked(s *cacheShard, bm *blockMeta) {
+	s.lru.Remove(bm.elem)
+	if cf := s.files[bm.fh]; cf != nil {
 		delete(cf.blocks, bm.idx)
 	}
-	c.used -= int64(bm.len)
+	c.used.Add(-int64(bm.len))
 }
 
 // MarkDirty flags an existing block dirty (used after local merges).
 func (c *DiskCache) MarkDirty(fh nfs3.FH3, idx uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cf := c.files[string(fh.Data)]; cf != nil {
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	if cf := s.files[key]; cf != nil {
 		if bm, ok := cf.blocks[idx]; ok {
 			bm.dirty = true
+			bm.prefetched = false
 		}
 	}
 }
@@ -221,9 +319,11 @@ func (c *DiskCache) MarkDirty(fh nfs3.FH3, idx uint64) {
 // DirtyList returns the dirty block indices of fh in ascending order
 // (they stay dirty until FlushDone).
 func (c *DiskCache) DirtyList(fh nfs3.FH3) []uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cf := c.files[string(fh.Data)]
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	cf := s.files[key]
 	if cf == nil {
 		return nil
 	}
@@ -239,28 +339,33 @@ func (c *DiskCache) DirtyList(fh nfs3.FH3) []uint64 {
 
 // DirtyFiles returns the handles of all files with dirty blocks.
 func (c *DiskCache) DirtyFiles() []nfs3.FH3 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []nfs3.FH3
-	for key, cf := range c.files {
-		for _, bm := range cf.blocks {
-			if bm.dirty {
-				out = append(out, nfs3.FH3{Data: []byte(key)})
-				break
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		for key, cf := range s.files {
+			for _, bm := range cf.blocks {
+				if bm.dirty {
+					out = append(out, nfs3.FH3{Data: []byte(key)})
+					break
+				}
 			}
 		}
+		s.unlock()
 	}
 	return out
 }
 
 // FlushDone marks a block clean after it reached the server.
 func (c *DiskCache) FlushDone(fh nfs3.FH3, idx uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cf := c.files[string(fh.Data)]; cf != nil {
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	if cf := s.files[key]; cf != nil {
 		if bm, ok := cf.blocks[idx]; ok && bm.dirty {
 			bm.dirty = false
-			c.stats.FlushedBytes += uint64(bm.len)
+			s.stats.FlushedBytes += uint64(bm.len)
 		}
 	}
 }
@@ -270,21 +375,22 @@ func (c *DiskCache) FlushDone(fh nfs3.FH3, idx uint64) {
 // write-back is cancelled.
 func (c *DiskCache) DropFile(fh nfs3.FH3) {
 	key := string(fh.Data)
-	c.mu.Lock()
-	cf := c.files[key]
+	s := c.shard(key)
+	s.lock()
+	cf := s.files[key]
 	if cf != nil {
 		for _, bm := range cf.blocks {
 			if bm.dirty {
-				c.stats.CancelledBytes += uint64(bm.len)
+				s.stats.CancelledBytes += uint64(bm.len)
 			}
-			c.lru.Remove(bm.elem)
-			c.used -= int64(bm.len)
+			s.lru.Remove(bm.elem)
+			c.used.Add(-int64(bm.len))
 		}
-		delete(c.files, key)
+		delete(s.files, key)
 	}
-	delete(c.attrs, key)
-	delete(c.access, key)
-	c.mu.Unlock()
+	delete(s.attrs, key)
+	delete(s.access, key)
+	s.unlock()
 	if cf != nil {
 		cf.f.Close()
 		os.Remove(cf.path)
@@ -293,84 +399,114 @@ func (c *DiskCache) DropFile(fh nfs3.FH3) {
 
 // GetAttr returns cached attributes.
 func (c *DiskCache) GetAttr(fh nfs3.FH3) (nfs3.Fattr3, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	a, ok := c.attrs[string(fh.Data)]
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	a, ok := s.attrs[key]
 	if ok {
-		c.stats.AttrHits++
+		s.stats.AttrHits++
 	} else {
-		c.stats.AttrMisses++
+		s.stats.AttrMisses++
 	}
 	return a, ok
 }
 
 // PutAttr caches attributes for the session.
 func (c *DiskCache) PutAttr(fh nfs3.FH3, a nfs3.Fattr3) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.attrs[string(fh.Data)] = a
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	s.attrs[key] = a
 }
 
 // UpdateAttr mutates cached attributes if present.
 func (c *DiskCache) UpdateAttr(fh nfs3.FH3, f func(*nfs3.Fattr3)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if a, ok := c.attrs[string(fh.Data)]; ok {
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	if a, ok := s.attrs[key]; ok {
 		f(&a)
-		c.attrs[string(fh.Data)] = a
+		s.attrs[key] = a
 	}
 }
 
 // InvalidateAttr drops cached attributes.
 func (c *DiskCache) InvalidateAttr(fh nfs3.FH3) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.attrs, string(fh.Data))
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	delete(s.attrs, key)
 }
 
 // GetAccess returns the cached ACCESS grant for fh.
 func (c *DiskCache) GetAccess(fh nfs3.FH3) (uint32, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	g, ok := c.access[string(fh.Data)]
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	g, ok := s.access[key]
 	if ok {
-		c.stats.AccessHits++
+		s.stats.AccessHits++
 	} else {
-		c.stats.AccessMisses++
+		s.stats.AccessMisses++
 	}
 	return g, ok
 }
 
 // PutAccess caches an ACCESS grant.
 func (c *DiskCache) PutAccess(fh nfs3.FH3, granted uint32) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.access[string(fh.Data)] = granted
+	key := string(fh.Data)
+	s := c.shard(key)
+	s.lock()
+	defer s.unlock()
+	s.access[key] = granted
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, aggregated across shards.
 func (c *DiskCache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var total Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		st := s.stats
+		s.unlock()
+		total.BlockHits += st.BlockHits
+		total.BlockMisses += st.BlockMisses
+		total.AttrHits += st.AttrHits
+		total.AttrMisses += st.AttrMisses
+		total.AccessHits += st.AccessHits
+		total.AccessMisses += st.AccessMisses
+		total.FlushedBytes += st.FlushedBytes
+		total.CancelledBytes += st.CancelledBytes
+		total.ReadaheadHits += st.ReadaheadHits
+		total.LockWaits += s.lockWaits.Load()
+		total.LockWaitNanos += uint64(s.lockWaitNs.Load())
+	}
+	return total
 }
 
 // Used reports current cached bytes.
-func (c *DiskCache) Used() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
-}
+func (c *DiskCache) Used() int64 { return c.used.Load() }
 
 // Close releases all backing files and removes the cache directory
 // contents.
 func (c *DiskCache) Close() error {
-	c.mu.Lock()
-	files := c.files
-	c.files = make(map[string]*cacheFile)
-	c.lru.Init()
-	c.used = 0
-	c.mu.Unlock()
+	var files []*cacheFile
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		for _, cf := range s.files {
+			files = append(files, cf)
+		}
+		s.files = make(map[string]*cacheFile)
+		s.lru.Init()
+		s.unlock()
+	}
+	c.used.Store(0)
 	for _, cf := range files {
 		cf.f.Close()
 		os.Remove(cf.path)

@@ -3,6 +3,7 @@ package cache
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/nfs3"
@@ -191,5 +192,138 @@ func TestStatsCounting(t *testing.T) {
 	st := c.Stats()
 	if st.BlockHits != 1 || st.BlockMisses != 1 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPrefetchedBlocksCountReadaheadHits(t *testing.T) {
+	t.Parallel()
+	c := newCache(t, 1<<20)
+	blk := bytes.Repeat([]byte("r"), 1024)
+	if err := c.PutPrefetched(fh("f"), 0, blk); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(fh("f"), 0) {
+		t.Fatal("prefetched block not cached")
+	}
+	// Contains must not consume the prefetched flag or count a hit.
+	if st := c.Stats(); st.BlockHits != 0 || st.ReadaheadHits != 0 {
+		t.Fatalf("Contains touched stats: %+v", st)
+	}
+	got, ok := c.GetBlock(fh("f"), 0)
+	if !ok || !bytes.Equal(got, blk) {
+		t.Fatal("prefetched block lost")
+	}
+	c.GetBlock(fh("f"), 0) // second hit: no longer a readahead hit
+	st := c.Stats()
+	if st.BlockHits != 2 || st.ReadaheadHits != 1 {
+		t.Fatalf("stats %+v; want 2 hits, 1 readahead hit", st)
+	}
+}
+
+func TestDemandPutClearsPrefetchedFlag(t *testing.T) {
+	t.Parallel()
+	c := newCache(t, 1<<20)
+	c.PutPrefetched(fh("f"), 0, []byte("ra"))
+	c.PutBlock(fh("f"), 0, []byte("demand"), false)
+	c.GetBlock(fh("f"), 0)
+	if st := c.Stats(); st.ReadaheadHits != 0 {
+		t.Fatalf("demand-put block still counted as readahead hit: %+v", st)
+	}
+}
+
+// TestConcurrentHammer pounds the sharded cache from many goroutines —
+// mixed gets, puts, dirty-list walks, flushes, drops, and attr traffic
+// over a small capacity so eviction runs constantly. Run under -race
+// this is the shard-locking regression test; it also checks that
+// accounting never goes negative and dirty blocks never vanish
+// silently.
+func TestConcurrentHammer(t *testing.T) {
+	t.Parallel()
+	c := newCache(t, 64*1024)
+	const (
+		workers = 16
+		iters   = 300
+		nFiles  = 24
+	)
+	blk := bytes.Repeat([]byte("h"), 1024)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				f := fh(fmt.Sprintf("hammer-%d", (w*7+i)%nFiles))
+				switch i % 6 {
+				case 0:
+					if err := c.PutBlock(f, uint64(i%8), blk, i%2 == 0); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if data, ok := c.GetBlock(f, uint64(i%8)); ok && len(data) != len(blk) {
+						t.Errorf("truncated block: %d bytes", len(data))
+						return
+					}
+				case 2:
+					for _, idx := range c.DirtyList(f) {
+						c.FlushDone(f, idx)
+					}
+				case 3:
+					c.PutAttr(f, nfs3.Fattr3{Size: uint64(i)})
+					c.GetAttr(f)
+					c.PutAccess(f, uint32(i))
+					c.GetAccess(f)
+				case 4:
+					c.PutPrefetched(f, uint64(i%8), blk)
+					c.Contains(f, uint64(i%8))
+				case 5:
+					if i%60 == 5 {
+						c.DropFile(f)
+					} else {
+						c.Used()
+						c.Stats()
+						c.DirtyFiles()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if used := c.Used(); used < 0 {
+		t.Fatalf("negative accounting: used = %d", used)
+	}
+	// Every remaining dirty block must still be listed and flushable.
+	for _, f := range c.DirtyFiles() {
+		for _, idx := range c.DirtyList(f) {
+			if _, ok := c.GetBlock(f, idx); !ok {
+				t.Fatalf("dirty block %v/%d unreadable", f, idx)
+			}
+			c.FlushDone(f, idx)
+		}
+	}
+	if left := c.DirtyFiles(); len(left) != 0 {
+		t.Fatalf("%d dirty files after full flush", len(left))
+	}
+}
+
+func TestLockWaitCountersMonotonic(t *testing.T) {
+	t.Parallel()
+	c := newCache(t, 1<<20)
+	// Force contention on one shard: many goroutines, one file handle.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.PutBlock(fh("same"), uint64(i%4), []byte("x"), false)
+				c.GetBlock(fh("same"), uint64(i%4))
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.LockWaits == 0 && st.LockWaitNanos != 0 {
+		t.Fatalf("wait time without waits: %+v", st)
 	}
 }

@@ -165,6 +165,71 @@ func (s *ChannelStats) Snapshot() ChannelSnapshot {
 	}
 }
 
+// DataPathStats counts pipelined data-path activity in the client
+// proxy: flush worker concurrency, readahead traffic, and in-flight
+// READ deduplication. All counters are atomic.
+type DataPathStats struct {
+	// FlushActive is the number of flush workers currently sending a
+	// block; FlushPeak is the high-water mark across the session.
+	FlushActive atomic.Int64
+	FlushPeak   atomic.Int64
+	// FlushedBlocks counts blocks successfully written upstream (any
+	// stability level); FlushRetries counts UNSTABLE writes re-sent
+	// FILE_SYNC after a reconnect refused the replay; CommitMismatches
+	// counts COMMIT verifier mismatches that forced a stable re-send of
+	// a file's flushed blocks.
+	FlushedBlocks    atomic.Uint64
+	FlushRetries     atomic.Uint64
+	CommitMismatches atomic.Uint64
+	// ReadaheadIssued counts prefetch fetches started; ReadaheadDropped
+	// counts sequential-read hints shed because the prefetch pool was
+	// saturated; InflightDedup counts READs that piggybacked on another
+	// caller's identical in-flight fetch instead of going upstream.
+	ReadaheadIssued  atomic.Uint64
+	ReadaheadDropped atomic.Uint64
+	InflightDedup    atomic.Uint64
+}
+
+// EnterFlush marks one flush worker active, maintaining the peak.
+func (s *DataPathStats) EnterFlush() {
+	n := s.FlushActive.Add(1)
+	for {
+		old := s.FlushPeak.Load()
+		if n <= old || s.FlushPeak.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// LeaveFlush marks one flush worker idle again.
+func (s *DataPathStats) LeaveFlush() { s.FlushActive.Add(-1) }
+
+// DataPathSnapshot is a plain-value copy of DataPathStats.
+type DataPathSnapshot struct {
+	FlushActive      int64
+	FlushPeak        int64
+	FlushedBlocks    uint64
+	FlushRetries     uint64
+	CommitMismatches uint64
+	ReadaheadIssued  uint64
+	ReadaheadDropped uint64
+	InflightDedup    uint64
+}
+
+// Snapshot returns a copy of the counters (each read atomically).
+func (s *DataPathStats) Snapshot() DataPathSnapshot {
+	return DataPathSnapshot{
+		FlushActive:      s.FlushActive.Load(),
+		FlushPeak:        s.FlushPeak.Load(),
+		FlushedBlocks:    s.FlushedBlocks.Load(),
+		FlushRetries:     s.FlushRetries.Load(),
+		CommitMismatches: s.CommitMismatches.Load(),
+		ReadaheadIssued:  s.ReadaheadIssued.Load(),
+		ReadaheadDropped: s.ReadaheadDropped.Load(),
+		InflightDedup:    s.InflightDedup.Load(),
+	}
+}
+
 // ProcessCPU returns the process's cumulative user and system CPU
 // time from rusage.
 func ProcessCPU() (user, system time.Duration) {

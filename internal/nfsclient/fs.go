@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/nfs3"
+	"repro/internal/singleflight"
 	"repro/internal/vfs"
 )
 
@@ -81,6 +82,18 @@ type FileSystem struct {
 	seqMu   sync.Mutex
 	lastEnd map[string]uint64
 
+	// sf dedups concurrent server READs of one block (demand readers
+	// and prefetchers share one RPC); prefetch bounds how many
+	// background readahead fetches run at once.
+	sf       singleflight.Group[[]byte]
+	prefetch *singleflight.Pool
+
+	// flushMu guards flushErrs: the first write-back error per file
+	// from cache-pressure eviction, surfaced by the next Sync/Close
+	// instead of being silently dropped.
+	flushMu   sync.Mutex
+	flushErrs map[string]error
+
 	rpcReads, rpcWrites uint64
 	statMu              sync.Mutex
 }
@@ -109,19 +122,23 @@ func Mount(ctx context.Context, dial Dialer, path string, opt Options) (*FileSys
 		return nil, err
 	}
 	fs := &FileSystem{
-		proto:    proto,
-		root:     root,
-		opt:      opt,
-		attrs:    newAttrCache(opt.AttrTimeout),
-		names:    newNameCache(opt.AttrTimeout),
-		pages:    newPageCache(opt.CacheBytes),
-		versions: make(map[string]fileVersion),
-		lastEnd:  make(map[string]uint64),
+		proto:     proto,
+		root:      root,
+		opt:       opt,
+		attrs:     newAttrCache(opt.AttrTimeout),
+		names:     newNameCache(opt.AttrTimeout),
+		pages:     newPageCache(opt.CacheBytes),
+		versions:  make(map[string]fileVersion),
+		lastEnd:   make(map[string]uint64),
+		flushErrs: make(map[string]error),
 	}
 	// Prime the root attributes and verify the server speaks NFSv3.
 	if _, err := fs.getAttr(ctx, root); err != nil {
 		proto.Close()
 		return nil, fmt.Errorf("nfsclient: root getattr: %w", err)
+	}
+	if opt.Readahead > 0 {
+		fs.prefetch = singleflight.NewPool(opt.Readahead)
 	}
 	return fs, nil
 }
@@ -139,6 +156,16 @@ func (fs *FileSystem) Close() error {
 		}
 	}
 	fs.pages.mu.Unlock()
+	// Files whose only trace of trouble is a sticky eviction write-back
+	// error must surface it here even with no dirty blocks left.
+	fs.flushMu.Lock()
+	for k := range fs.flushErrs {
+		if !seen[k] {
+			seen[k] = true
+			fhs = append(fhs, k)
+		}
+	}
+	fs.flushMu.Unlock()
 	// Bound the final write-back: Close must terminate even when the
 	// server has gone away mid-session.
 	ctx, cancel := context.WithTimeout(context.Background(), closeFlushTimeout)
@@ -152,6 +179,11 @@ func (fs *FileSystem) Close() error {
 	}
 	if err := fs.proto.Close(); firstErr == nil {
 		firstErr = err
+	}
+	if fs.prefetch != nil {
+		// The transport is gone, so queued prefetches fail fast; Close
+		// just drains the workers.
+		fs.prefetch.Close()
 	}
 	return firstErr
 }
@@ -507,16 +539,31 @@ func (fs *FileSystem) readBlock(ctx context.Context, fh nfs3.FH3, block uint64) 
 	if data, ok := fs.pages.Get(fh, block); ok {
 		return data, nil
 	}
-	bs := uint64(fs.opt.BlockSize)
-	data, _, err := fs.proto.Read(ctx, fh, block*bs, uint32(bs))
-	if err != nil {
-		return nil, err
-	}
-	fs.statMu.Lock()
-	fs.rpcReads++
-	fs.statMu.Unlock()
-	fs.insertClean(ctx, fh, block, data)
-	return data, nil
+	return fs.fetchBlock(ctx, fh, block)
+}
+
+// fetchBlock reads a block from the server through the single-flight
+// group, so a demand read and a prefetch of the same block share one
+// RPC. Callers must treat the returned slice as read-only.
+func (fs *FileSystem) fetchBlock(ctx context.Context, fh nfs3.FH3, block uint64) ([]byte, error) {
+	data, err, _ := fs.sf.Do(singleflight.Key(fh.Data, block), func() ([]byte, error) {
+		// Re-check under the flight: the block may have landed between
+		// the caller's miss and this flight winning the key.
+		if data, ok := fs.pages.Get(fh, block); ok {
+			return data, nil
+		}
+		bs := uint64(fs.opt.BlockSize)
+		data, _, err := fs.proto.Read(ctx, fh, block*bs, uint32(bs))
+		if err != nil {
+			return nil, err
+		}
+		fs.statMu.Lock()
+		fs.rpcReads++
+		fs.statMu.Unlock()
+		fs.insertClean(ctx, fh, block, data)
+		return data, nil
+	})
+	return data, err
 }
 
 // insertClean puts a clean block in the cache and writes back any
@@ -531,11 +578,35 @@ func (fs *FileSystem) insertClean(ctx context.Context, fh nfs3.FH3, block uint64
 func (fs *FileSystem) writeBackBlock(ctx context.Context, b *cacheBlock) {
 	fh := nfs3.FH3{Data: []byte(b.key.fh)}
 	off := b.key.block * uint64(fs.opt.BlockSize)
-	if _, err := fs.proto.Write(ctx, fh, off, b.data, nfs3.FileSync); err == nil {
-		fs.statMu.Lock()
-		fs.rpcWrites++
-		fs.statMu.Unlock()
+	if _, err := fs.proto.Write(ctx, fh, off, b.data, nfs3.FileSync); err != nil {
+		// The block was already evicted from the cache, so dropping
+		// this error would silently lose the data. Record it; the
+		// file's next Sync/Close surfaces it.
+		fs.recordFlushErr(b.key.fh, err)
+		return
 	}
+	fs.statMu.Lock()
+	fs.rpcWrites++
+	fs.statMu.Unlock()
+}
+
+// recordFlushErr keeps the first write-back error per file.
+func (fs *FileSystem) recordFlushErr(key string, err error) {
+	fs.flushMu.Lock()
+	if _, ok := fs.flushErrs[key]; !ok {
+		fs.flushErrs[key] = err
+	}
+	fs.flushMu.Unlock()
+}
+
+// takeFlushErr returns and clears the sticky write-back error for fh.
+func (fs *FileSystem) takeFlushErr(fh nfs3.FH3) error {
+	key := fhKey(fh)
+	fs.flushMu.Lock()
+	err := fs.flushErrs[key]
+	delete(fs.flushErrs, key)
+	fs.flushMu.Unlock()
+	return err
 }
 
 // ReadAt reads len(p) bytes at offset off.
@@ -578,7 +649,7 @@ func (f *File) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
 			n++
 		}
 		read += n
-		fs.maybeReadahead(ctx, f.fh, block, uint64(size))
+		fs.maybeReadahead(f.fh, block, uint64(size))
 	}
 	var eof error
 	if off+int64(read) >= size {
@@ -587,10 +658,18 @@ func (f *File) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
 	return read, eof
 }
 
-// maybeReadahead prefetches subsequent blocks when access is
-// sequential.
-func (fs *FileSystem) maybeReadahead(ctx context.Context, fh nfs3.FH3, block, size uint64) {
-	if fs.opt.Readahead <= 0 {
+// prefetchTimeout bounds one background readahead RPC. Prefetches run
+// on a detached context: the read that hinted them may return (and
+// cancel its own context) long before the prefetched bytes arrive.
+const prefetchTimeout = 30 * time.Second
+
+// maybeReadahead schedules background prefetches of the blocks after
+// block when access is sequential. Hints are shed — never queued
+// unboundedly — when the prefetch pool is saturated; the foreground
+// read path fetches on demand anyway, through the same single-flight
+// group, so a dropped hint costs latency, not correctness.
+func (fs *FileSystem) maybeReadahead(fh nfs3.FH3, block, size uint64) {
+	if fs.opt.Readahead <= 0 || fs.prefetch == nil {
 		return
 	}
 	key := fhKey(fh)
@@ -611,7 +690,17 @@ func (fs *FileSystem) maybeReadahead(ctx context.Context, fh nfs3.FH3, block, si
 		if _, ok := fs.pages.Get(fh, next); ok {
 			continue
 		}
-		go fs.readBlock(ctx, fh, next)
+		fs.prefetch.TryGo(func() { fs.prefetchBlock(fh, next) })
+	}
+}
+
+// prefetchBlock fetches one readahead block on its own deadline.
+func (fs *FileSystem) prefetchBlock(fh nfs3.FH3, block uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), prefetchTimeout)
+	defer cancel()
+	if _, err := fs.fetchBlock(ctx, fh, block); err != nil {
+		// Best effort: the foreground read retries on demand.
+		return
 	}
 }
 
@@ -741,11 +830,14 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	return f.offset, nil
 }
 
-// flushFile writes back all dirty blocks of fh and commits them.
+// flushFile writes back all dirty blocks of fh and commits them. Any
+// sticky write-back error from earlier cache-pressure eviction is
+// folded into the result, so no lost write stays silent.
 func (fs *FileSystem) flushFile(ctx context.Context, fh nfs3.FH3) error {
+	sticky := fs.takeFlushErr(fh)
 	dirty := fs.pages.DirtyBlocks(fh)
 	if len(dirty) == 0 {
-		return nil
+		return sticky
 	}
 	// Flush with bounded concurrency; the RPC client pipelines them.
 	sem := make(chan struct{}, 8)
@@ -771,9 +863,9 @@ func (fs *FileSystem) flushFile(ctx context.Context, fh nfs3.FH3) error {
 		}
 	}
 	if firstErr != nil {
-		return firstErr
+		return errors.Join(sticky, firstErr)
 	}
-	return fs.proto.Commit(ctx, fh, 0, 0)
+	return errors.Join(sticky, fs.proto.Commit(ctx, fh, 0, 0))
 }
 
 // Sync flushes the file's dirty blocks and commits them.

@@ -138,7 +138,7 @@ func (c *Client) fail(err error) error {
 }
 
 func (c *Client) readLoop() {
-	var buf []byte
+	buf := recGet()
 	for {
 		rec, err := readRecord(c.conn, buf)
 		if err != nil {
@@ -162,9 +162,10 @@ func (c *Client) readLoop() {
 			buf = rec
 			continue
 		}
-		// Hand ownership of rec to the waiter; allocate fresh next time.
+		// Hand ownership of rec to the waiter, which recycles it into
+		// recPool after decoding; take a pooled buffer for the next read.
 		ch <- rec
-		buf = nil
+		buf = recGet()
 	}
 }
 
@@ -180,31 +181,41 @@ func (c *Client) Call(ctx context.Context, proc uint32, args xdr.Marshaler, repl
 func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, args xdr.Marshaler, reply xdr.Unmarshaler) error {
 	xid := c.xid.Add(1)
 
-	var body xdr.Buffer
-	enc := xdr.NewEncoder(&body)
+	cb := callBufPool.Get().(*callBufs)
+	cb.body.Reset()
+	cb.enc.Reset(&cb.body)
 	hdr := callHeader{XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc, Cred: cred, Verf: AuthNone}
-	hdr.EncodeXDR(enc)
+	hdr.EncodeXDR(&cb.enc)
 	if args != nil {
-		args.EncodeXDR(enc)
+		args.EncodeXDR(&cb.enc)
 	}
-	if err := enc.Err(); err != nil {
+	if err := cb.enc.Err(); err != nil {
+		callBufPool.Put(cb)
 		return fmt.Errorf("oncrpc: encode call: %w", err)
 	}
 
-	ch := make(chan []byte, 1)
+	if cb.ch == nil {
+		cb.ch = make(chan []byte, 1)
+	}
+	ch := cb.ch
 	c.mu.Lock()
 	if c.closed {
 		err := c.err
 		c.mu.Unlock()
+		callBufPool.Put(cb)
 		return err
 	}
 	c.pending[xid] = ch
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeRecord(c.conn, body.Bytes())
+	err := writeRecord(c.conn, cb.body.Bytes())
 	c.writeMu.Unlock()
 	if err != nil {
+		// fail closed ch (along with every other pending channel), so it
+		// must not be reused for a later call.
+		cb.ch = nil
+		callBufPool.Put(cb)
 		return c.fail(&TransportError{Err: fmt.Errorf("write: %w", err)})
 	}
 
@@ -214,13 +225,29 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 			c.mu.Lock()
 			err := c.err
 			c.mu.Unlock()
+			cb.ch = nil // closed by fail; a reused call would see it closed
+			callBufPool.Put(cb)
 			return err
 		}
-		return decodeReply(rec, reply)
+		cb.rbuf.SetBytes(rec)
+		cb.dec.Reset(&cb.rbuf)
+		err := decodeReplyFrom(&cb.dec, reply)
+		// The decoder copies everything out of rec (xdr.Buffer.Read is a
+		// copy), so the record can be recycled as soon as decoding ends.
+		recPut(rec)
+		cb.rbuf.SetBytes(nil)
+		callBufPool.Put(cb)
+		return err
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, xid)
 		c.mu.Unlock()
+		// The readLoop may already have claimed the pending entry and be
+		// about to deliver into ch; abandoning the channel (rather than
+		// pooling it) keeps that late record from leaking into an
+		// unrelated future call.
+		cb.ch = nil
+		callBufPool.Put(cb)
 		return ctx.Err()
 	}
 }
@@ -228,9 +255,14 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 // decodeReply parses a reply record (beginning at the xid) and, on
 // success, decodes the result body into reply.
 func decodeReply(rec []byte, reply xdr.Unmarshaler) error {
-	buf := xdr.Buffer{}
-	buf.Write(rec)
-	d := xdr.NewDecoder(&buf)
+	var buf xdr.Buffer
+	buf.SetBytes(rec)
+	return decodeReplyFrom(xdr.NewDecoder(&buf), reply)
+}
+
+// decodeReplyFrom is decodeReply over a caller-supplied (typically
+// pooled) decoder already positioned at the record's xid.
+func decodeReplyFrom(d *xdr.Decoder, reply xdr.Unmarshaler) error {
 	_ = d.Uint32() // xid, already matched
 	if mt := d.Uint32(); mt != msgReply {
 		return fmt.Errorf("oncrpc: expected REPLY, got message type %d", mt)

@@ -1,0 +1,66 @@
+package oncrpc
+
+import (
+	"sync"
+
+	"repro/internal/xdr"
+)
+
+// Buffer pooling for the RPC hot path. Every call used to allocate an
+// encode buffer, an encoder, a reply channel, a record read buffer, a
+// reply copy, and a decoder; under a pipelined WAN flush those
+// allocations dominate the profile. The pools below recycle all of
+// them. See BenchmarkCallEcho for the tracked allocs/op figure.
+
+// recPoolMax bounds the capacity of record buffers kept in the pool so
+// one jumbo READ reply does not pin megabytes forever. NFS3 data
+// blocks here are 32 KiB plus headers; 128 KiB keeps every ordinary
+// record reusable.
+const recPoolMax = 128 << 10
+
+var recPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// recGet returns a pooled record buffer (possibly empty) for
+// readRecord to fill.
+func recGet() []byte { return *recPool.Get().(*[]byte) }
+
+// recPut recycles a record buffer obtained from recGet, dropping
+// oversized ones.
+func recPut(p []byte) {
+	if cap(p) > recPoolMax {
+		return
+	}
+	p = p[:0]
+	recPool.Put(&p)
+}
+
+// callBufs is the per-call scratch state of Client.CallCred: the
+// encode buffer, the reply-decode buffer, their codec front ends, and
+// the reply channel. The channel is reused only when the call
+// completed cleanly — paths where the channel may still receive a late
+// or closed-channel signal nil it before pooling.
+type callBufs struct {
+	body xdr.Buffer
+	enc  xdr.Encoder
+	rbuf xdr.Buffer
+	dec  xdr.Decoder
+	ch   chan []byte
+}
+
+var callBufPool = sync.Pool{New: func() any { return new(callBufs) }}
+
+// dispatchBufs is the per-call decode state of Server.dispatch.
+type dispatchBufs struct {
+	in  xdr.Buffer
+	dec xdr.Decoder
+}
+
+var dispatchBufPool = sync.Pool{New: func() any { return new(dispatchBufs) }}
+
+// replyBufs is the per-reply encode state of Server.reply.
+type replyBufs struct {
+	out xdr.Buffer
+	enc xdr.Encoder
+}
+
+var replyBufPool = sync.Pool{New: func() any { return new(replyBufs) }}

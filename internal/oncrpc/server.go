@@ -212,7 +212,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	// departed peer can stop instead of running to completion.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var buf []byte
+	buf := recGet()
 	for {
 		rec, err := readRecord(conn, buf)
 		if err != nil {
@@ -223,15 +223,26 @@ func (s *Server) ServeConn(conn net.Conn) {
 			s.dispatch(ctx, conn, &writeMu, rec)
 			continue
 		}
-		buf = nil
-		go s.dispatch(ctx, conn, &writeMu, rec)
+		// The record is fully consumed by the time dispatch returns (the
+		// decoder copies, the reply is written), so the goroutine can
+		// recycle it; take a pooled buffer for the next read.
+		go func() {
+			s.dispatch(ctx, conn, &writeMu, rec)
+			recPut(rec)
+		}()
+		buf = recGet()
 	}
 }
 
 func (s *Server) dispatch(ctx context.Context, conn net.Conn, writeMu *sync.Mutex, rec []byte) {
-	var inBuf xdr.Buffer
-	inBuf.Write(rec)
-	d := xdr.NewDecoder(&inBuf)
+	db := dispatchBufPool.Get().(*dispatchBufs)
+	db.in.SetBytes(rec)
+	db.dec.Reset(&db.in)
+	d := &db.dec
+	defer func() {
+		db.in.SetBytes(nil)
+		dispatchBufPool.Put(db)
+	}()
 	var hdr callHeader
 	if err := hdr.DecodeXDR(d); err != nil {
 		if errors.Is(err, errRPCVersion) {
@@ -327,8 +338,11 @@ func (s *Server) accepted(conn net.Conn, writeMu *sync.Mutex, xid uint32, stat A
 }
 
 func (s *Server) reply(conn net.Conn, writeMu *sync.Mutex, xid uint32, body func(*xdr.Encoder)) {
-	var out xdr.Buffer
-	e := xdr.NewEncoder(&out)
+	rb := replyBufPool.Get().(*replyBufs)
+	defer replyBufPool.Put(rb)
+	rb.out.Reset()
+	rb.enc.Reset(&rb.out)
+	e := &rb.enc
 	e.Uint32(xid)
 	e.Uint32(msgReply)
 	body(e)
@@ -337,7 +351,7 @@ func (s *Server) reply(conn net.Conn, writeMu *sync.Mutex, xid uint32, body func
 		return
 	}
 	writeMu.Lock()
-	err := writeRecord(conn, out.Bytes())
+	err := writeRecord(conn, rb.out.Bytes())
 	writeMu.Unlock()
 	if err != nil {
 		s.logf("oncrpc: write reply: %v", err)

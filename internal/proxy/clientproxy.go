@@ -16,6 +16,7 @@ import (
 	"repro/internal/nfs3"
 	"repro/internal/oncrpc"
 	"repro/internal/securechan"
+	"repro/internal/singleflight"
 	"repro/internal/vfs"
 	"repro/internal/xdr"
 )
@@ -88,6 +89,14 @@ type ClientConfig struct {
 	// keeps the paper's single-shot session: the first link failure
 	// ends it.
 	Recovery *RecoveryConfig
+	// FlushWorkers bounds how many UNSTABLE writes FlushAll keeps in
+	// flight concurrently over the multiplexed channel (default 8;
+	// 1 serializes the flush).
+	FlushWorkers int
+	// Readahead is how many blocks the proxy prefetches ahead of a
+	// detected sequential read stream (default 4; negative disables).
+	// Only meaningful with DiskCache set.
+	Readahead int
 }
 
 // upstream is the client proxy's channel to the server-side proxy:
@@ -104,6 +113,17 @@ type ClientProxy struct {
 	rpc *oncrpc.Server
 	up  upstream
 	rec *oncrpc.ReconnectClient // == up when cfg.Recovery != nil
+
+	// Pipelined data path: the single-flight group dedups concurrent
+	// upstream READs of one block, the pool bounds background
+	// prefetches, and dp counts both sides (see flush.go/readahead.go).
+	sf       singleflight.Group[blockFetch]
+	prefetch *singleflight.Pool
+	dp       metrics.DataPathStats
+
+	// raMu guards per-file sequential-read detection state.
+	raMu   sync.Mutex
+	raNext map[string]uint64
 
 	mu       sync.Mutex
 	conn     net.Conn // transport of the current session
@@ -125,8 +145,9 @@ const (
 // the local client.
 func NewClientProxy(cfg ClientConfig) (*ClientProxy, error) {
 	p := &ClientProxy{
-		cfg: cfg,
-		rpc: oncrpc.NewServer(),
+		cfg:    cfg,
+		rpc:    oncrpc.NewServer(),
+		raNext: make(map[string]uint64),
 	}
 	// Establish the first session synchronously so misconfiguration
 	// (bad export, refused credential) fails here, not on first use.
@@ -148,6 +169,9 @@ func NewClientProxy(cfg ClientConfig) (*ClientProxy, error) {
 		p.up = p.rec
 	} else {
 		p.up = first
+	}
+	if cfg.DiskCache != nil && p.cfg.readahead() > 0 {
+		p.prefetch = singleflight.NewPool(p.cfg.readahead())
 	}
 	p.register()
 	return p, nil
@@ -293,6 +317,11 @@ func (p *ClientProxy) Close() error {
 	}
 	p.rpc.Close()
 	p.up.Close()
+	if p.prefetch != nil {
+		// After up.Close, queued prefetches fail fast on the dead
+		// transport; Close just drains the workers.
+		p.prefetch.Close()
+	}
 	return err
 }
 
@@ -323,77 +352,28 @@ func (p *ClientProxy) CacheStats() (cache.Stats, bool) {
 	return p.cfg.DiskCache.Stats(), true
 }
 
-// FlushAll writes every dirty cached block back to the server. The
-// time this takes is the paper's separately-reported "time needed to
-// write back data at the end of execution".
-func (p *ClientProxy) FlushAll(ctx context.Context) error {
-	dc := p.cfg.DiskCache
-	if dc == nil {
-		return nil
+// DataPathStats returns the pipelined data path counters: flush
+// concurrency, readahead traffic, and in-flight READ deduplication.
+func (p *ClientProxy) DataPathStats() metrics.DataPathSnapshot {
+	return p.dp.Snapshot()
+}
+
+// opTimeout is the per-operation upstream deadline: the recovery
+// config's (which covers all retry attempts) or defaultOpTimeout.
+func (p *ClientProxy) opTimeout() time.Duration {
+	if r := p.cfg.Recovery; r != nil {
+		return r.opTimeout()
 	}
-	bs := uint64(dc.BlockSize())
-	var firstErr error
-	for _, fh := range dc.DirtyFiles() {
-		for _, idx := range dc.DirtyList(fh) {
-			data, ok := dc.GetBlock(fh, idx)
-			if !ok {
-				continue
-			}
-			// Clip the final block to the cached file size so the
-			// flush does not extend the file with block padding.
-			if attr, ok := dc.GetAttr(fh); ok {
-				blockStart := idx * bs
-				if blockStart+uint64(len(data)) > attr.Size {
-					if attr.Size <= blockStart {
-						dc.FlushDone(fh, idx)
-						continue
-					}
-					data = data[:attr.Size-blockStart]
-				}
-			}
-			if len(p.cfg.StorageKey) > 0 {
-				data = atRestCrypt(p.cfg.StorageKey, fh, idx*bs, data)
-			}
-			args := &nfs3.WriteArgs{Obj: fh, Offset: idx * bs, Count: uint32(len(data)), Stable: nfs3.FileSync, Data: data}
-			var res nfs3.WriteRes
-			err := p.upCall(ctx, nfs3.ProcWrite, args, &res)
-			if errors.Is(err, oncrpc.ErrNonIdempotentReplay) {
-				// The generic channel refuses to replay WRITE, but a
-				// flush write is FILE_SYNC of identical bytes at an
-				// absolute offset: re-executing it is harmless. Retry
-				// once on the re-established session.
-				err = p.upCall(ctx, nfs3.ProcWrite, args, &res)
-			}
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			if res.Status != nfs3.OK {
-				if firstErr == nil {
-					firstErr = res.Status.Error()
-				}
-				continue
-			}
-			dc.FlushDone(fh, idx)
-		}
-	}
-	return firstErr
+	return defaultOpTimeout
 }
 
 // upCall issues an upstream RPC, crediting the wait back to the meter
 // so metered handler time approximates local processing (the paper's
 // proxy CPU, Figures 5/6) rather than wall-clock. Every operation
-// carries a deadline — the recovery config's, which covers all retry
-// attempts, or defaultOpTimeout — so a dead WAN link turns into a
-// bounded error instead of an indefinite hang.
+// carries a deadline so a dead WAN link turns into a bounded error
+// instead of an indefinite hang.
 func (p *ClientProxy) upCall(ctx context.Context, proc uint32, args xdr.Marshaler, res xdr.Unmarshaler) error {
-	timeout := defaultOpTimeout
-	if r := p.cfg.Recovery; r != nil {
-		timeout = r.opTimeout()
-	}
-	ctx, cancel := context.WithTimeout(ctx, timeout)
+	ctx, cancel := context.WithTimeout(ctx, p.opTimeout())
 	defer cancel()
 	if p.cfg.Meter == nil {
 		return p.up.Call(ctx, proc, args, res)
@@ -687,6 +667,7 @@ func (p *ClientProxy) read(ctx context.Context, call *oncrpc.Call) (xdr.Marshale
 		if st != nfs3.OK {
 			return &nfs3.ReadRes{Status: st}, oncrpc.Success
 		}
+		p.maybeReadahead(a.Obj, idx, size)
 		n := uint64(len(block)) - inner
 		if inner >= uint64(len(block)) {
 			// Hole within a short cached block: zero-fill to block end.
@@ -733,27 +714,14 @@ func (p *ClientProxy) cachedSize(ctx context.Context, fh nfs3.FH3) (uint64, nfs3
 }
 
 // cacheBlock returns block idx of fh, fetching from the server on a
-// miss.
+// miss through the single-flight group so concurrent readers (and the
+// prefetcher) share one upstream READ.
 func (p *ClientProxy) cacheBlock(ctx context.Context, fh nfs3.FH3, idx uint64, size uint64) ([]byte, nfs3.Status) {
 	dc := p.cfg.DiskCache
 	if data, ok := dc.GetBlock(fh, idx); ok {
 		return data, nfs3.OK
 	}
-	bs := uint64(dc.BlockSize())
-	var res nfs3.ReadRes
-	args := &nfs3.ReadArgs{Obj: fh, Offset: idx * bs, Count: uint32(bs)}
-	if err := p.upCall(ctx, nfs3.ProcRead, args, &res); err != nil {
-		return nil, nfs3.Status(vfs.ErrIO)
-	}
-	if res.Status != nfs3.OK {
-		return nil, res.Status
-	}
-	data := res.Data
-	if len(p.cfg.StorageKey) > 0 {
-		data = atRestCrypt(p.cfg.StorageKey, fh, idx*bs, data)
-	}
-	dc.PutBlock(fh, idx, data, false)
-	return data, nfs3.OK
+	return p.fetchBlock(ctx, fh, idx, false)
 }
 
 func (p *ClientProxy) write(ctx context.Context, call *oncrpc.Call) (xdr.Marshaler, oncrpc.AcceptStat) {

@@ -1,0 +1,310 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/nfs3"
+	"repro/internal/nfsclient"
+	"repro/internal/vfs"
+)
+
+// dirtyThroughMount writes payload into name through a write-back
+// mount, leaving every block dirty in the client proxy's disk cache.
+func dirtyThroughMount(t testing.TB, st *testStack, name string, payload []byte) {
+	t.Helper()
+	fs := st.mount(t, nfsclient.Options{})
+	ctx := context.Background()
+	f, err := fs.Create(ctx, name, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// backendBytes reads name's content directly from the backend.
+func backendBytes(t testing.TB, st *testStack, name string, size int) []byte {
+	t.Helper()
+	h, _, err := st.backend.Lookup(st.backend.Root(), name)
+	if err != nil {
+		t.Fatalf("backend lookup %s: %v", name, err)
+	}
+	buf := make([]byte, size)
+	n, _, err := st.backend.Read(h, 0, buf)
+	if err != nil {
+		t.Fatalf("backend read %s: %v", name, err)
+	}
+	return buf[:n]
+}
+
+// timeFlush builds a stack over an emulated WAN link, dirties blocks
+// blocks of one file, and returns how long FlushAll took.
+func timeFlush(t testing.TB, workers, blocks int, rtt time.Duration) time.Duration {
+	t.Helper()
+	dc := newDiskCache(t)
+	st := buildStack(t, stackOpts{diskCache: dc, rtt: rtt, flushWorkers: workers, readahead: -1})
+	payload := bytes.Repeat([]byte("W"), blocks*32*1024)
+	dirtyThroughMount(t, st, "flushme", payload)
+	if got := len(dc.DirtyFiles()); got == 0 {
+		t.Fatal("no dirty blocks to flush")
+	}
+	start := time.Now()
+	if err := st.clientProxy.FlushAll(context.Background()); err != nil {
+		t.Fatalf("FlushAll(%d workers): %v", workers, err)
+	}
+	elapsed := time.Since(start)
+	if got := backendBytes(t, st, "flushme", len(payload)+1); !bytes.Equal(got, payload) {
+		t.Fatalf("flushed bytes corrupted: %d bytes on server, want %d", len(got), len(payload))
+	}
+	dp := st.clientProxy.DataPathStats()
+	if dp.FlushedBlocks < uint64(blocks) {
+		t.Fatalf("flushed %d blocks, want at least %d", dp.FlushedBlocks, blocks)
+	}
+	if workers > 1 && dp.FlushPeak < 2 {
+		t.Fatalf("flush concurrency peak %d with %d workers", dp.FlushPeak, workers)
+	}
+	return elapsed
+}
+
+// TestParallelFlushSpeedup is the headline acceptance test for the
+// pipelined write-back: with a 20 ms one-way (40 ms RTT) link and 32
+// dirty blocks, 8 flush workers must be at least 4x faster than the
+// serial flush. The ideal ratio is ~6.6x (33 round trips down to ~5).
+func TestParallelFlushSpeedup(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("WAN-delay timing test")
+	}
+	const blocks = 32
+	rtt := 40 * time.Millisecond
+	serial := timeFlush(t, 1, blocks, rtt)
+	parallel := timeFlush(t, 8, blocks, rtt)
+	ratio := float64(serial) / float64(parallel)
+	t.Logf("serial %v, parallel %v, speedup %.1fx", serial, parallel, ratio)
+	if ratio < 4 {
+		t.Fatalf("parallel flush only %.1fx faster than serial, want >= 4x", ratio)
+	}
+}
+
+// TestChaosParallelFlushLinkCut proves the parallel flush loses nothing
+// when the WAN link is cut out from under it: UNSTABLE writes that die
+// with a session are retried FILE_SYNC or left dirty for the next
+// round, COMMIT verifier churn forces stable re-sends, and after the
+// link settles a final FlushAll leaves the server byte-identical with
+// everything the client ever wrote.
+func TestChaosParallelFlushLinkCut(t *testing.T) {
+	dc := newDiskCache(t)
+	faulter := netem.NewFaulter()
+	stats := &metrics.ChannelStats{}
+	st := buildStack(t, stackOpts{
+		diskCache: dc,
+		faulter:   faulter,
+		rtt:       5 * time.Millisecond,
+		recovery: &RecoveryConfig{
+			MaxAttempts:    8,
+			BaseDelay:      5 * time.Millisecond,
+			MaxDelay:       100 * time.Millisecond,
+			AttemptTimeout: 5 * time.Second,
+			OpTimeout:      30 * time.Second,
+			Stats:          stats,
+		},
+	})
+
+	// Dirty a sizeable dataset up front, before the killer starts:
+	// CREATE is not replayable, flush WRITEs are.
+	const nFiles = 4
+	const fileBlocks = 32
+	payloads := make(map[string][]byte, nFiles)
+	for i := 0; i < nFiles; i++ {
+		name := fmt.Sprintf("chaosflush-%d", i)
+		payloads[name] = chaosPayload(i, fileBlocks*32*1024)
+		dirtyThroughMount(t, st, name, payloads[name])
+	}
+
+	// The killer severs every live WAN connection on a short timer, so
+	// cuts land mid-flush repeatedly.
+	stopKiller := make(chan struct{})
+	killerDone := make(chan struct{})
+	go func() {
+		defer close(killerDone)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopKiller:
+				return
+			case <-tick.C:
+				faulter.CutAll(netem.FaultReset)
+			}
+		}
+	}()
+
+	// Keep flushing (and re-dirtying on quiet rounds) under fire until
+	// the link has demonstrably died mid-workload at least twice.
+	ctx := context.Background()
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		// Errors are expected while the killer runs; dirty blocks must
+		// simply survive for the next attempt.
+		if err := st.clientProxy.FlushAll(ctx); err != nil {
+			for _, fh := range dc.DirtyFiles() {
+				for _, idx := range dc.DirtyList(fh) {
+					if _, ok := dc.GetBlock(fh, idx); !ok {
+						t.Fatalf("dirty block %d lost after failed flush", idx)
+					}
+				}
+			}
+		}
+		if s := stats.Snapshot(); s.Disconnects >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("link cuts never hit the flush: %+v (faulter %+v)", stats.Snapshot(), faulter.Stats())
+		}
+		if len(dc.DirtyFiles()) == 0 {
+			// Flushed clean between cuts: re-dirty and go again.
+			name := "chaosflush-0"
+			dirtyThroughMount(t, st, name, payloads[name])
+		}
+	}
+	close(stopKiller)
+	<-killerDone
+
+	// The link heals; flushing must eventually drain everything.
+	drainBy := time.Now().Add(60 * time.Second)
+	for {
+		err := st.clientProxy.FlushAll(ctx)
+		if err == nil && len(dc.DirtyFiles()) == 0 {
+			break
+		}
+		if time.Now().After(drainBy) {
+			t.Fatalf("flush never drained after link healed: %v (%d dirty files)", err, len(dc.DirtyFiles()))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Every file must be byte-identical on the server: any block marked
+	// clean without reaching the server would surface here.
+	for name, want := range payloads {
+		if got := backendBytes(t, st, name, len(want)+1); !bytes.Equal(got, want) {
+			t.Fatalf("%s corrupted after chaos flush: %d bytes, want %d", name, len(got), len(want))
+		}
+	}
+	dp := st.clientProxy.DataPathStats()
+	if dp.FlushedBlocks == 0 {
+		t.Fatal("no flushed blocks counted")
+	}
+	t.Logf("datapath: %+v channel: %+v", dp, stats.Snapshot())
+}
+
+// TestFetchBlockSingleFlight: concurrent readers of one uncached block
+// must share a single upstream READ.
+func TestFetchBlockSingleFlight(t *testing.T) {
+	t.Parallel()
+	dc := newDiskCache(t)
+	st := buildStack(t, stackOpts{diskCache: dc, rtt: 40 * time.Millisecond, readahead: -1})
+
+	h, _, err := st.backend.Create(st.backend.Root(), "shared.dat", vfs.SetAttr{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := chaosPayload(7, 32*1024)
+	if err := st.backend.Write(h, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	fs := st.mount(t, nfsclient.Options{CacheBytes: 1, Readahead: -1})
+	ctx := context.Background()
+	fh, _, err := fs.Proto().Lookup(ctx, fs.Root(), "shared.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 16
+	results := make([][]byte, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, st2 := st.clientProxy.fetchBlock(ctx, fh, 0, false)
+			if st2 != nfs3.OK {
+				t.Errorf("reader %d: status %v", i, st2)
+				return
+			}
+			results[i] = data
+		}(i)
+	}
+	wg.Wait()
+	for i, data := range results {
+		if !bytes.Equal(data, want) {
+			t.Fatalf("reader %d got %d bytes, want %d", i, len(data), len(want))
+		}
+	}
+	dp := st.clientProxy.DataPathStats()
+	if dp.InflightDedup == 0 {
+		t.Fatalf("no in-flight dedup counted across %d concurrent readers: %+v", readers, dp)
+	}
+}
+
+// TestProxyReadaheadWarmsCache: a sequential scan over the WAN must
+// trigger background prefetches, and later reads must either hit the
+// prefetched blocks or piggyback on their in-flight fetches.
+func TestProxyReadaheadWarmsCache(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("WAN-delay timing test")
+	}
+	dc := newDiskCache(t)
+	st := buildStack(t, stackOpts{diskCache: dc, rtt: 20 * time.Millisecond})
+
+	const blocks = 16
+	h, _, err := st.backend.Create(st.backend.Root(), "seq.dat", vfs.SetAttr{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := chaosPayload(3, blocks*32*1024)
+	if err := st.backend.Write(h, 0, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client-side caching and readahead off: every block request
+	// reaches the proxy, which must do its own sequential detection.
+	fs := st.mount(t, nfsclient.Options{CacheBytes: 1, Readahead: -1})
+	ctx := context.Background()
+	f, err := fs.Open(ctx, "seq.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	for off := 0; off < len(want); off += 32 * 1024 {
+		if _, err := f.ReadAt(ctx, got[off:off+32*1024], int64(off)); err != nil && err != io.EOF {
+			t.Fatalf("read @%d: %v", off, err)
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("sequential scan returned corrupted data")
+	}
+	dp := st.clientProxy.DataPathStats()
+	if dp.ReadaheadIssued == 0 {
+		t.Fatalf("sequential scan issued no readahead: %+v", dp)
+	}
+	cs, _ := st.clientProxy.CacheStats()
+	if cs.ReadaheadHits == 0 && dp.InflightDedup == 0 {
+		t.Fatalf("readahead never helped a read: cache %+v datapath %+v", cs, dp)
+	}
+}

@@ -39,16 +39,19 @@ type testStack struct {
 }
 
 type stackOpts struct {
-	fineGrained bool
-	diskCache   *cache.DiskCache
-	plain       bool // gfs mode: no secure channel
-	userCred    *gridsec.Credential
-	suites      []securechan.Suite
-	recovery    *RecoveryConfig // fault-tolerant upstream channel
-	faulter     *netem.Faulter  // injects faults into the client→server link
+	fineGrained  bool
+	diskCache    *cache.DiskCache
+	plain        bool // gfs mode: no secure channel
+	userCred     *gridsec.Credential
+	suites       []securechan.Suite
+	recovery     *RecoveryConfig // fault-tolerant upstream channel
+	faulter      *netem.Faulter  // injects faults into the client→server link
+	rtt          time.Duration   // emulated WAN delay on the client→server link
+	flushWorkers int             // FlushAll concurrency (0 = default)
+	readahead    int             // proxy readahead depth (0 = default, <0 disables)
 }
 
-func buildStack(t *testing.T, opts stackOpts) *testStack {
+func buildStack(t testing.TB, opts stackOpts) *testStack {
 	t.Helper()
 	st := &testStack{backend: vfs.NewMemFS()}
 
@@ -112,14 +115,19 @@ func buildStack(t *testing.T, opts stackOpts) *testStack {
 		user = st.alice
 	}
 	serverDial := func() (net.Conn, error) { return net.Dial("tcp", spAddr) }
+	if opts.rtt > 0 {
+		serverDial = netem.Dialer(serverDial, netem.Config{RTT: opts.rtt})
+	}
 	if opts.faulter != nil {
 		serverDial = opts.faulter.Dialer(serverDial)
 	}
 	ccfg := ClientConfig{
-		ServerDial: serverDial,
-		ExportPath: "/GFS/alice",
-		DiskCache:  opts.diskCache,
-		Recovery:   opts.recovery,
+		ServerDial:   serverDial,
+		ExportPath:   "/GFS/alice",
+		DiskCache:    opts.diskCache,
+		Recovery:     opts.recovery,
+		FlushWorkers: opts.flushWorkers,
+		Readahead:    opts.readahead,
 	}
 	if !opts.plain {
 		ccfg.Channel = &securechan.Config{Credential: user, Roots: st.ca.Pool(), Suites: opts.suites}
@@ -139,7 +147,7 @@ func buildStack(t *testing.T, opts stackOpts) *testStack {
 	return st
 }
 
-func (st *testStack) mount(t *testing.T, opt nfsclient.Options) *nfsclient.FileSystem {
+func (st *testStack) mount(t testing.TB, opt nfsclient.Options) *nfsclient.FileSystem {
 	t.Helper()
 	dial := func() (net.Conn, error) { return net.Dial("tcp", st.clientAddr) }
 	fs, err := nfsclient.Mount(context.Background(), dial, "/GFS/alice", opt)
@@ -388,7 +396,7 @@ func TestACLCacheEffect(t *testing.T) {
 	}
 }
 
-func newDiskCache(t *testing.T) *cache.DiskCache {
+func newDiskCache(t testing.TB) *cache.DiskCache {
 	t.Helper()
 	dc, err := cache.New(t.TempDir(), 32*1024, 256<<20)
 	if err != nil {

@@ -92,10 +92,11 @@ type Conn struct {
 	frameBuf []byte
 	rerr     error
 
-	writeMu sync.Mutex
-	wSealer *sealer
-	wGen    uint32
-	werr    error
+	writeMu  sync.Mutex
+	wSealer  *sealer
+	wGen     uint32
+	wScratch []byte // reusable seal output, guarded by writeMu
+	werr     error
 
 	closeOnce sync.Once
 
@@ -429,7 +430,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 			n = maxRecordPlaintext
 		}
 		sealStart := time.Now()
-		rec, err := c.wSealer.seal(recData, p[:n])
+		rec, err := c.wSealer.sealTo(c.wScratch[:0], recData, p[:n])
 		if c.meter != nil {
 			c.meter.Add(time.Since(sealStart))
 		}
@@ -441,6 +442,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 			c.werr = err
 			return total, err
 		}
+		// The frame is on the wire; keep the (possibly grown) record
+		// storage for the next seal.
+		c.wScratch = rec[:0]
 		total += n
 		p = p[n:]
 	}

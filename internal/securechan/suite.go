@@ -30,6 +30,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 )
 
 // Suite identifies a negotiated protection suite.
@@ -94,10 +95,16 @@ type sealer struct {
 	stream *rc4.Cipher  // RC4 only
 	block  cipher.Block // AES only
 	seq    uint64
+
+	// h and sum are reused across records so the per-record MAC costs
+	// no allocations; access is serialized with the rest of the sealer.
+	h   hash.Hash
+	sum [macLen]byte
 }
 
 func newSealer(suite Suite, encKey, macKey []byte) (*sealer, error) {
 	s := &sealer{suite: suite, macKey: macKey, encKey: encKey}
+	s.h = hmac.New(sha1.New, macKey)
 	switch suite {
 	case SuiteNullSHA1:
 	case SuiteRC4SHA1:
@@ -118,49 +125,74 @@ func newSealer(suite Suite, encKey, macKey []byte) (*sealer, error) {
 	return s, nil
 }
 
-// mac computes HMAC-SHA1 over seq || recType || len(body) || body.
+// mac computes HMAC-SHA1 over seq || recType || len(body) || body. The
+// returned slice aliases the sealer's scratch sum and is valid until
+// the next mac call.
 func (s *sealer) mac(recType byte, body []byte) []byte {
-	h := hmac.New(sha1.New, s.macKey)
+	s.h.Reset()
 	var hdr [13]byte
 	binary.BigEndian.PutUint64(hdr[0:8], s.seq)
 	hdr[8] = recType
 	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(body)))
-	h.Write(hdr[:])
-	h.Write(body)
-	return h.Sum(nil)
+	s.h.Write(hdr[:])
+	s.h.Write(body)
+	return s.h.Sum(s.sum[:0])
+}
+
+// sliceFor returns a length-n slice backed by dst's storage when its
+// capacity can also hold a trailing tag of tail bytes; otherwise it
+// allocates with that headroom so the caller's append cannot reallocate.
+func sliceFor(dst []byte, n, tail int) []byte {
+	if cap(dst) >= n+tail {
+		return dst[:n]
+	}
+	return make([]byte, n, n+tail)
 }
 
 // seal encrypts and authenticates plaintext, returning the protected
 // record body (ciphertext || MAC) and advancing the sequence number.
 func (s *sealer) seal(recType byte, plaintext []byte) ([]byte, error) {
+	return s.sealTo(nil, recType, plaintext)
+}
+
+// sealTo is seal writing into dst's storage when it is large enough,
+// so a steady-state connection seals records with zero allocations.
+// dst must be empty (a scratch buffer sliced to [:0]); the returned
+// record aliases it when it fits.
+func (s *sealer) sealTo(dst []byte, recType byte, plaintext []byte) ([]byte, error) {
 	var body []byte
 	switch s.suite {
 	case SuiteNullSHA1:
-		body = append([]byte(nil), plaintext...)
+		body = sliceFor(dst, len(plaintext), macLen)
+		copy(body, plaintext)
 	case SuiteRC4SHA1:
-		body = make([]byte, len(plaintext))
+		body = sliceFor(dst, len(plaintext), macLen)
 		s.stream.XORKeyStream(body, plaintext)
 	case SuiteAES256SHA1:
 		bs := s.block.BlockSize()
 		padLen := bs - len(plaintext)%bs
-		padded := make([]byte, len(plaintext)+padLen)
-		copy(padded, plaintext)
-		for i := len(plaintext); i < len(padded); i++ {
-			padded[i] = byte(padLen)
+		body = sliceFor(dst, bs+len(plaintext)+padLen, macLen)
+		iv, ct := body[:bs], body[bs:]
+		copy(ct, plaintext)
+		for i := len(plaintext); i < len(ct); i++ {
+			ct[i] = byte(padLen)
 		}
-		body = make([]byte, bs+len(padded))
-		iv := body[:bs]
 		if _, err := rand.Read(iv); err != nil {
 			return nil, err
 		}
-		cipher.NewCBCEncrypter(s.block, iv).CryptBlocks(body[bs:], padded)
+		// Exact-overlap src/dst is permitted by cipher.BlockMode.
+		cipher.NewCBCEncrypter(s.block, iv).CryptBlocks(ct, ct)
 	}
 	tag := s.mac(recType, body)
 	s.seq++
 	return append(body, tag...), nil
 }
 
-// open verifies and decrypts a protected record body.
+// open verifies and decrypts a protected record body. Decryption is
+// done in place: record's ciphertext bytes are overwritten and the
+// returned plaintext aliases them. Callers (the Conn read path) own
+// the record buffer and do not reuse it until the plaintext is
+// consumed.
 func (s *sealer) open(recType byte, record []byte) ([]byte, error) {
 	if len(record) < macLen {
 		return nil, ErrRecordMAC
@@ -175,27 +207,25 @@ func (s *sealer) open(recType byte, record []byte) ([]byte, error) {
 	case SuiteNullSHA1:
 		return body, nil
 	case SuiteRC4SHA1:
-		out := make([]byte, len(body))
-		s.stream.XORKeyStream(out, body)
-		return out, nil
+		s.stream.XORKeyStream(body, body)
+		return body, nil
 	case SuiteAES256SHA1:
 		bs := s.block.BlockSize()
 		if len(body) < 2*bs || len(body)%bs != 0 {
 			return nil, errors.New("securechan: malformed CBC record")
 		}
 		iv, ct := body[:bs], body[bs:]
-		out := make([]byte, len(ct))
-		cipher.NewCBCDecrypter(s.block, iv).CryptBlocks(out, ct)
-		padLen := int(out[len(out)-1])
-		if padLen == 0 || padLen > bs || padLen > len(out) {
+		cipher.NewCBCDecrypter(s.block, iv).CryptBlocks(ct, ct)
+		padLen := int(ct[len(ct)-1])
+		if padLen == 0 || padLen > bs || padLen > len(ct) {
 			return nil, errors.New("securechan: bad CBC padding")
 		}
-		for _, b := range out[len(out)-padLen:] {
+		for _, b := range ct[len(ct)-padLen:] {
 			if int(b) != padLen {
 				return nil, errors.New("securechan: bad CBC padding")
 			}
 		}
-		return out[:len(out)-padLen], nil
+		return ct[:len(ct)-padLen], nil
 	}
 	return nil, fmt.Errorf("securechan: unsupported suite %v", s.suite)
 }

@@ -39,6 +39,14 @@ type Encoder struct {
 // NewEncoder returns an Encoder writing to w.
 func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 
+// Reset re-arms the encoder to write to w, clearing any sticky error.
+// It lets hot paths keep encoders in a sync.Pool instead of allocating
+// one per message.
+func (e *Encoder) Reset(w io.Writer) {
+	e.w = w
+	e.err = nil
+}
+
 // Err returns the first error encountered by the encoder, if any.
 func (e *Encoder) Err() error { return e.err }
 
@@ -121,6 +129,13 @@ type Decoder struct {
 
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Reset re-arms the decoder to read from r, clearing any sticky error,
+// so pooled decoders can be reused across messages.
+func (d *Decoder) Reset(r io.Reader) {
+	d.r = r
+	d.err = nil
+}
 
 // Err returns the first error encountered by the decoder, if any.
 func (d *Decoder) Err() error { return d.err }
@@ -327,5 +342,13 @@ func (b *Buffer) Read(p []byte) (int, error) {
 // Reset truncates the buffer to empty, retaining capacity.
 func (b *Buffer) Reset() {
 	b.data = b.data[:0]
+	b.off = 0
+}
+
+// SetBytes points the buffer at p for reading, without copying. The
+// buffer aliases p until the next SetBytes/Reset; callers own p's
+// lifetime.
+func (b *Buffer) SetBytes(p []byte) {
+	b.data = p
 	b.off = 0
 }

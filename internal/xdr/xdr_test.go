@@ -336,3 +336,54 @@ func TestQuickIntegers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Reset must clear a sticky error so pooled codecs start each message
+// clean.
+func TestEncoderDecoderReset(t *testing.T) {
+	e := NewEncoder(failingWriter{})
+	e.Uint32(1)
+	if e.Err() == nil {
+		t.Fatal("expected sticky encode error")
+	}
+	var b Buffer
+	e.Reset(&b)
+	if e.Err() != nil {
+		t.Fatalf("error survived Reset: %v", e.Err())
+	}
+	e.Uint32(7)
+	if e.Err() != nil || b.Len() != 4 {
+		t.Fatalf("encode after Reset: err=%v len=%d", e.Err(), b.Len())
+	}
+
+	d := NewDecoder(&Buffer{})
+	d.Uint32() // EOF
+	if d.Err() == nil {
+		t.Fatal("expected sticky decode error")
+	}
+	d.Reset(&b)
+	if got := d.Uint32(); got != 7 || d.Err() != nil {
+		t.Fatalf("decode after Reset = %d, %v", got, d.Err())
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// SetBytes must alias the slice (no copy) and rewind the read offset.
+func TestBufferSetBytes(t *testing.T) {
+	var b Buffer
+	p := []byte{0, 0, 0, 9}
+	b.SetBytes(p)
+	if &b.Bytes()[0] != &p[0] {
+		t.Fatal("SetBytes copied instead of aliasing")
+	}
+	d := NewDecoder(&b)
+	if got := d.Uint32(); got != 9 {
+		t.Fatalf("read %d", got)
+	}
+	b.SetBytes(p) // rewind
+	if got := d.Uint32(); got != 9 || d.Err() != nil {
+		t.Fatalf("re-read %d, %v", got, d.Err())
+	}
+}

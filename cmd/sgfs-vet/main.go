@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	sgfs-vet [-C dir] [-ignore file] [-run a,b] [-all] [-json] [-prune] [-<analyzer>=false ...] [pattern ...]
+//	sgfs-vet [-C dir] [-ignore file] [-run a,b] [-all] [-json] [-timing] [-prune] [-<analyzer>=false ...] [pattern ...]
+//	sgfs-vet -annotate report.json [-budget 120s]
 //
 // Patterns are package directories relative to the module root;
 // `./...` (the default) walks the whole module. Every analyzer has an
@@ -13,10 +14,21 @@
 // only the named analyzers; -all forces the complete suite regardless
 // of -run or per-analyzer flags. -json emits a machine-readable
 // report on stdout (findings, suppressed findings, stale allowlist
-// lines) for CI artifacts. -prune rewrites the allowlist dropping the
-// stale lines a full run detects. Exit status is 0 when clean, 1 when
-// there are findings not covered by the allowlist, and 2 on usage or
-// load errors. See DESIGN.md, "Static analysis: sgfs-vet".
+// lines, per-analyzer timings) for CI artifacts. -timing prints the
+// per-analyzer wall-time breakdown on stderr. -prune rewrites the
+// allowlist dropping the stale lines a full run detects.
+//
+// The second form turns a previously captured -json report into
+// GitHub Actions workflow-command annotations (::error for findings,
+// ::warning for stale allowlist lines) so findings surface inline on
+// pull requests; with -budget it also fails when the report's total
+// analysis time exceeds the budget, keeping the suite fast enough to
+// stay a merge gate.
+//
+// Exit status is 0 when clean, 1 when there are findings not covered
+// by the allowlist (or, with -annotate, when the report has findings
+// or busts the budget), and 2 on usage or load errors. See DESIGN.md,
+// "Static analysis: sgfs-vet".
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/vet"
 )
@@ -45,11 +58,19 @@ type jsonDiagnostic struct {
 	Message  string `json:"message"`
 }
 
+// jsonTiming is one analyzer's wall time in the -json report.
+type jsonTiming struct {
+	Analyzer string `json:"analyzer"`
+	Millis   int64  `json:"millis"`
+}
+
 type jsonReport struct {
 	ModuleRoot   string           `json:"module_root"`
 	Findings     []jsonDiagnostic `json:"findings"`
 	Suppressed   []jsonDiagnostic `json:"suppressed"`
 	StaleIgnores []int            `json:"stale_ignore_lines,omitempty"`
+	Timings      []jsonTiming     `json:"timings,omitempty"`
+	TotalMillis  int64            `json:"total_millis"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -61,7 +82,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		only       = fs.String("run", "", "comma-separated analyzer names to run (default all)")
 		runAll     = fs.Bool("all", false, "run the complete analyzer suite (overrides -run and per-analyzer flags)")
 		jsonOut    = fs.Bool("json", false, "emit a machine-readable report on stdout")
+		timing     = fs.Bool("timing", false, "report per-analyzer wall time on stderr")
 		prune      = fs.Bool("prune", false, "rewrite the allowlist dropping stale entries (requires a full run)")
+		annotate   = fs.String("annotate", "", "emit GitHub Actions annotations from a -json report file and exit")
+		budget     = fs.Duration("budget", 0, "with -annotate: fail when the report's total analysis time exceeds this")
 	)
 	all := vet.DefaultAnalyzers()
 	enabled := make(map[string]*bool, len(all))
@@ -70,6 +94,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *annotate != "" {
+		return runAnnotate(*annotate, *budget, stdout, stderr)
 	}
 
 	moduleRoot, err := vet.FindModuleRoot(*chdir)
@@ -169,7 +197,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Findings:   []jsonDiagnostic{},
 		Suppressed: []jsonDiagnostic{},
 	}
-	for _, d := range vet.RunAll(pkgs, selected) {
+	diags, timings := vet.RunAllTimed(pkgs, selected)
+	for _, t := range timings {
+		report.Timings = append(report.Timings, jsonTiming{Analyzer: t.Name, Millis: t.Elapsed.Milliseconds()})
+		report.TotalMillis += t.Elapsed.Milliseconds()
+	}
+	if *timing {
+		fmt.Fprintln(stderr, "sgfs-vet: analyzer wall time:")
+		for _, t := range timings {
+			fmt.Fprintf(stderr, "  %-20s %8dms\n", t.Name, t.Elapsed.Milliseconds())
+		}
+		fmt.Fprintf(stderr, "  %-20s %8dms\n", "total", report.TotalMillis)
+	}
+	for _, d := range diags {
 		jd := jsonDiagnostic{
 			Analyzer: d.Analyzer,
 			File:     relFile(d.Pos.Filename),
@@ -224,4 +264,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runAnnotate replays a -json report as GitHub Actions workflow
+// commands so findings land as inline annotations on pull requests,
+// and enforces the analysis-time budget that keeps the suite viable
+// as a merge gate.
+func runAnnotate(path string, budget time.Duration, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgfs-vet:", err)
+		return 2
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		fmt.Fprintf(stderr, "sgfs-vet: %s: %v\n", path, err)
+		return 2
+	}
+	for _, f := range report.Findings {
+		fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=sgfs-vet %s::%s\n",
+			escapeProperty(f.File), f.Line, f.Column, escapeProperty(f.Analyzer), escapeData(f.Message))
+	}
+	for _, line := range report.StaleIgnores {
+		fmt.Fprintf(stdout, "::warning file=.sgfsvet-ignore,line=%d::allowlist entry matched nothing (stale)\n", line)
+	}
+	fail := len(report.Findings) > 0
+	if budget > 0 && time.Duration(report.TotalMillis)*time.Millisecond > budget {
+		fmt.Fprintf(stdout, "::error title=sgfs-vet budget::analysis took %dms, over the %s budget\n",
+			report.TotalMillis, budget)
+		fail = true
+	}
+	if fail {
+		fmt.Fprintf(stderr, "sgfs-vet: %d finding(s) in %s\n", len(report.Findings), path)
+		return 1
+	}
+	return 0
+}
+
+// escapeData escapes a workflow-command message per the GitHub Actions
+// rules: % first, then the line terminators.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty escapes a workflow-command property value, which
+// additionally cannot contain the property and command separators.
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }

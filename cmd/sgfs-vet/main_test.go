@@ -261,6 +261,115 @@ func TestRunPruneNeedsFullRun(t *testing.T) {
 	}
 }
 
+func TestRunTiming(t *testing.T) {
+	root := writeModule(t)
+	code, stdout, stderr := runVet(t, "-C", root, "-json", "-timing")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "analyzer wall time") || !strings.Contains(stderr, "lock-order") {
+		t.Errorf("stderr missing timing table:\n%s", stderr)
+	}
+	var report struct {
+		Timings     []struct{ Analyzer string } `json:"timings"`
+		TotalMillis *int64                      `json:"total_millis"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if len(report.Timings) == 0 {
+		t.Error("json report has no timings")
+	}
+	if report.TotalMillis == nil {
+		t.Error("json report has no total_millis")
+	}
+}
+
+func TestRunAnnotate(t *testing.T) {
+	root := writeModule(t)
+	reportPath := filepath.Join(root, "report.json")
+	report := `{
+		"module_root": "` + strings.ReplaceAll(root, `\`, `\\`) + `",
+		"findings": [
+			{"analyzer": "lock-order", "file": "demo/demo.go", "line": 30, "column": 2,
+			 "message": "lock-order cycle: 50% of, \nsecond line"}
+		],
+		"stale_ignore_lines": [7],
+		"total_millis": 200000
+	}`
+	if err := os.WriteFile(reportPath, []byte(report), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, _ := runVet(t, "-annotate", reportPath)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 with findings", code)
+	}
+	if !strings.Contains(stdout, "::error file=demo/demo.go,line=30,col=2,title=sgfs-vet lock-order::") {
+		t.Errorf("missing error annotation:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "50%25 of") || !strings.Contains(stdout, "%0Asecond line") {
+		t.Errorf("message not escaped per workflow-command rules:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "::warning file=.sgfsvet-ignore,line=7::") {
+		t.Errorf("missing stale-allowlist warning:\n%s", stdout)
+	}
+
+	// Budget enforcement: the 200s report busts a 120s budget even when
+	// the findings list is empty.
+	clean := `{"module_root": "x", "findings": [], "total_millis": 200000}`
+	if err := os.WriteFile(reportPath, []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runVet(t, "-annotate", reportPath, "-budget", "120s")
+	if code != 1 {
+		t.Fatalf("budget exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "over the 2m0s budget") {
+		t.Errorf("missing budget annotation:\n%s", stdout)
+	}
+	code, _, _ = runVet(t, "-annotate", reportPath, "-budget", "300s")
+	if code != 0 {
+		t.Fatalf("under-budget exit = %d, want 0", code)
+	}
+	code, _, _ = runVet(t, "-annotate", reportPath)
+	if code != 0 {
+		t.Fatalf("clean report without budget: exit = %d, want 0", code)
+	}
+
+	if code, _, _ := runVet(t, "-annotate", filepath.Join(root, "absent.json")); code != 2 {
+		t.Errorf("missing report: exit = %d, want 2", code)
+	}
+	if err := os.WriteFile(reportPath, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runVet(t, "-annotate", reportPath); code != 2 {
+		t.Errorf("malformed report: exit = %d, want 2", code)
+	}
+}
+
+func TestRunAnnotateRoundTrip(t *testing.T) {
+	root := writeModule(t)
+	code, stdout, _ := runVet(t, "-C", root, "-json")
+	if code != 1 {
+		t.Fatalf("json run exit = %d, want 1", code)
+	}
+	reportPath := filepath.Join(root, "report.json")
+	if err := os.WriteFile(reportPath, []byte(stdout), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, annotations, _ := runVet(t, "-annotate", reportPath, "-budget", "120s")
+	if code != 1 {
+		t.Fatalf("annotate exit = %d, want 1", code)
+	}
+	if strings.Count(annotations, "::error") != 2 {
+		t.Errorf("want one annotation per finding:\n%s", annotations)
+	}
+	if strings.Contains(annotations, "budget") {
+		t.Errorf("real run should be far under budget:\n%s", annotations)
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	root := writeModule(t)
 	if code, _, stderr := runVet(t, "-C", root, "-run", "bogus"); code != 2 {

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding reported by an analyzer.
@@ -36,10 +37,25 @@ type ModuleAnalyzer interface {
 	RunModule(pkgs []*Package) []Diagnostic
 }
 
+// AnalyzerTiming records one analyzer's wall-clock cost over a RunAll
+// invocation, in suite order.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // RunAll applies every analyzer to every package and returns the
 // combined findings sorted by position. Duplicate packages (the same
 // directory named by two patterns) are analyzed once.
 func RunAll(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	diags, _ := RunAllTimed(pkgs, analyzers)
+	return diags
+}
+
+// RunAllTimed is RunAll with a per-analyzer wall-time breakdown, so
+// the CLI's -timing flag and CI's analysis-time budget can see where
+// the suite spends its time.
+func RunAllTimed(pkgs []*Package, analyzers []Analyzer) ([]Diagnostic, []AnalyzerTiming) {
 	var uniq []*Package
 	seen := make(map[*Package]bool, len(pkgs))
 	for _, p := range pkgs {
@@ -49,14 +65,17 @@ func RunAll(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		}
 	}
 	var out []Diagnostic
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
 	for _, a := range analyzers {
+		start := time.Now()
 		if ma, ok := a.(ModuleAnalyzer); ok {
 			out = append(out, ma.RunModule(uniq)...)
-			continue
+		} else {
+			for _, pkg := range uniq {
+				out = append(out, a.Run(pkg)...)
+			}
 		}
-		for _, pkg := range uniq {
-			out = append(out, a.Run(pkg)...)
-		}
+		timings = append(timings, AnalyzerTiming{Name: a.Name(), Elapsed: time.Since(start)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
@@ -67,7 +86,7 @@ func RunAll(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		}
 		return out[i].Message < out[j].Message
 	})
-	return out
+	return out, timings
 }
 
 // IgnoreList holds vetted exceptions loaded from a .sgfsvet-ignore

@@ -1,0 +1,224 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callGraph approximates "running F can cause G to run" for every pair
+// of module functions. Edges come from three places: static calls
+// (direct function and method calls), interface method calls resolved
+// against the method sets of every named module type that satisfies
+// the interface, and calls issued inside `go`/`defer` statements and
+// function literals, which are attributed to the enclosing declaration
+// — the graph answers reachability, not synchronous call order.
+//
+// The graph deliberately has no edges for bare function references
+// (handler registration, callbacks stored in maps): those would
+// over-connect the graph and drown flow-sensitive analyzers in
+// spurious paths. Analyzers that care about a specific indirect call
+// site (retry-safety and the ReconnectClient session factory) resolve
+// that one reference themselves.
+type callGraph struct {
+	idx   *moduleIndex
+	nodes []*types.Func // declaration order: package, file, decl
+	succs map[*types.Func][]*types.Func
+
+	// sccs is the Tarjan condensation. Because edges run caller →
+	// callee, components complete in callee-first order — exactly the
+	// order a bottom-up summary fixpoint needs.
+	sccs [][]*types.Func
+}
+
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		idx:   indexModule(pkgs),
+		succs: make(map[*types.Func][]*types.Func),
+	}
+
+	// Named module types, for resolving interface dispatch to the
+	// concrete methods that might run.
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				named = append(named, n)
+			}
+		}
+	}
+	implCache := make(map[*types.Func][]*types.Func)
+
+	edges := make(map[*types.Func]map[*types.Func]bool)
+	addEdge := func(from, to *types.Func) {
+		if to == nil {
+			return
+		}
+		if _, inModule := g.idx.decls[to]; !inModule {
+			return
+		}
+		m := edges[from]
+		if m == nil {
+			m = make(map[*types.Func]bool)
+			edges[from] = m
+		}
+		if m[to] {
+			return
+		}
+		m[to] = true
+		g.succs[from] = append(g.succs[from], to)
+	}
+
+	for _, pkg := range pkgs {
+		pkg := pkg
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.nodes = append(g.nodes, fn)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeOf(pkg, call)
+					if callee == nil {
+						return true
+					}
+					if isAbstract(callee) {
+						if _, cached := implCache[callee]; !cached {
+							implCache[callee] = implementers(named, callee)
+						}
+						for _, impl := range implCache[callee] {
+							addEdge(fn, impl)
+						}
+						return true
+					}
+					addEdge(fn, callee)
+					return true
+				})
+			}
+		}
+	}
+	g.condense()
+	return g
+}
+
+// isAbstract reports whether fn is an interface method (no body
+// anywhere — the call dispatches dynamically).
+func isAbstract(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// implementers resolves an interface method to the concrete module
+// methods that can satisfy it: every named non-interface type whose
+// method set (value or pointer) implements the receiver interface
+// contributes its method of the same name.
+func implementers(named []*types.Named, absm *types.Func) []*types.Func {
+	iface, ok := absm.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, n := range named {
+		if types.IsInterface(n.Underlying()) {
+			continue
+		}
+		t := types.Type(n)
+		if !types.Implements(t, iface) {
+			t = types.NewPointer(n)
+			if !types.Implements(t, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(t, true, absm.Pkg(), absm.Name())
+		if m, ok := obj.(*types.Func); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// condense runs Tarjan's strongly-connected-components algorithm over
+// the graph. Components are appended as they complete, which with
+// caller → callee edges yields them callee-first (reverse topological
+// order of the condensation).
+func (g *callGraph) condense() {
+	index := make(map[*types.Func]int, len(g.nodes))
+	low := make(map[*types.Func]int, len(g.nodes))
+	onStack := make(map[*types.Func]bool)
+	var stack []*types.Func
+	next := 0
+
+	var strong func(v *types.Func)
+	strong = func(v *types.Func) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.succs[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			g.sccs = append(g.sccs, comp)
+		}
+	}
+	for _, v := range g.nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+}
+
+// reachableFrom returns every function reachable from roots over the
+// graph's edges, roots included.
+func (g *callGraph) reachableFrom(roots []*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.succs[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}

@@ -86,6 +86,14 @@ type Spec struct {
 	// material.
 	Conversion func(to types.Type, src *Source) *Source
 
+	// FieldTaint decides the taint of reading a struct field whose own
+	// object is clean but whose base container is tainted (nil = the
+	// container's taint passes through). This is where an analysis
+	// declares projection cuts — e.g. secret-flow holds that reading
+	// cfg.ExportPath (a string) out of a struct that also carries a
+	// private key does not extract the key.
+	FieldTaint func(sel *ast.SelectorExpr, src *Source) *Source
+
 	// BoundSanitizer, when true, clears taint on branch edges that
 	// prove an upper bound: on the edge where `x <= K` (or `x < K`,
 	// `x == K`, the negation of `x > K`…) holds and K is untainted,
@@ -298,7 +306,9 @@ func (spec *Spec) exprTaint(st State, e ast.Expr) *Source {
 	case *ast.ParenExpr:
 		return spec.exprTaint(st, x.X)
 	case *ast.SelectorExpr:
+		isField := false
 		if sel, ok := spec.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			isField = true
 			if src := st[sel.Obj()]; src != nil {
 				return src
 			}
@@ -308,7 +318,11 @@ func (spec *Spec) exprTaint(st State, e ast.Expr) *Source {
 				return src
 			}
 		}
-		return spec.exprTaint(st, x.X)
+		src := spec.exprTaint(st, x.X)
+		if src != nil && isField && spec.FieldTaint != nil {
+			return spec.FieldTaint(x, src)
+		}
+		return src
 	case *ast.UnaryExpr:
 		return spec.exprTaint(st, x.X)
 	case *ast.StarExpr:

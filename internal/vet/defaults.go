@@ -36,5 +36,7 @@ func DefaultAnalyzers() []Analyzer {
 		SecretFlow{},
 		UnboundedAlloc{},
 		WeakRand{},
+		ResourceLeak{},
+		RetrySafety{},
 	}
 }

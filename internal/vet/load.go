@@ -1,6 +1,6 @@
 // Package vet implements sgfs-vet, a repository-specific static
 // analysis suite built purely on the standard library's go/ast,
-// go/parser and go/types. It carries eleven analyzers tuned to the
+// go/parser and go/types. It carries thirteen analyzers tuned to the
 // invariants this codebase depends on but the compiler cannot check.
 //
 // Syntactic, per-package:
@@ -37,6 +37,17 @@
 //   - weak-rand: math/rand values must not become cryptographic
 //     material (time.Duration conversions — backoff jitter — are the
 //     sanctioned use).
+//
+// Summary-based, on call-graph function summaries computed to a
+// fixpoint over the SCC condensation (fourth generation; the three
+// taint analyzers above follow flows through any call depth now):
+//
+//   - resource-leak: acquired connections, files and pool buffers
+//     must be released, stored, or handed off on every path;
+//     summaries recognize constructors that acquire and helpers that
+//     release.
+//   - retry-safety: code reachable from retry/replay roots must not
+//     re-issue procedures the replay table classifies non-idempotent.
 //
 // See DESIGN.md ("Static analysis: sgfs-vet") for the full contract
 // and instructions for adding analyzers.

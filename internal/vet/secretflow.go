@@ -3,6 +3,7 @@ package vet
 import (
 	"fmt"
 	"go/ast"
+	"go/types"
 	"strings"
 
 	"repro/internal/vet/cfg"
@@ -15,11 +16,17 @@ import (
 // reflexively put values while debugging. Sources are typed (ECDH /
 // ECDSA private keys, parsed X.509 keys), named (the channel's
 // master/session secret fields, hkdf derivation results), and
-// propagate one level through direct calls. One-way transforms
+// propagate through arbitrarily deep module call chains via the
+// call-graph summary fixpoint (summary.go). One-way transforms
 // (HMACs, hashes, signatures) launder taint deliberately: a
 // transcript MAC derived *from* the master secret is designed to be
 // transmitted.
-type SecretFlow struct{}
+type SecretFlow struct {
+	// Intraprocedural disables the deep summaries, leaving only the
+	// std-library call model. Used by regression tests that pin what
+	// the summaries buy — never enabled in the default suite.
+	Intraprocedural bool
+}
 
 // Name implements Analyzer.
 func (SecretFlow) Name() string { return "secret-flow" }
@@ -31,62 +38,56 @@ func (a SecretFlow) Run(pkg *Package) []Diagnostic {
 
 // RunModule implements ModuleAnalyzer.
 func (a SecretFlow) RunModule(pkgs []*Package) []Diagnostic {
-	base := func(pkg *Package) *cfg.Spec {
-		return &cfg.Spec{
-			Info:     pkg.Info,
-			SourceOf: func(e ast.Expr) (string, bool) { return secretSource(pkg, e) },
-		}
-	}
-	summaries := returnSummaries(pkgs, base)
-
-	var diags []Diagnostic
-	for _, tgt := range taintTargets(pkgs) {
-		tgt := tgt
-		pkg := tgt.pkg
-		spec := base(pkg)
-		spec.CallTaint = func(call *ast.CallExpr, recv *cfg.Source, args []*cfg.Source) *cfg.Source {
+	pol := summaryPolicy{
+		mkSpec: func(pkg *Package) *cfg.Spec {
+			return &cfg.Spec{
+				Info:     pkg.Info,
+				SourceOf: func(e ast.Expr) (string, bool) { return secretSource(pkg, e) },
+			}
+		},
+		sinkOf: func(pkg *Package, call *ast.CallExpr) (int, string) {
+			if sink := leakSink(pkg, call); sink != "" {
+				return 0, sink
+			}
+			return -1, ""
+		},
+		// priv.Bytes() is still the private key; everything else on a
+		// key object (PublicKey, Public, Curve) is public, and one-way
+		// crypto (hmac, hash sums) sanitizes by default.
+		callTaint: func(pkg *Package, call *ast.CallExpr, recv *cfg.Source, args []*cfg.Source) *cfg.Source {
 			fn, path := stdCallee(pkg, call)
-			if fn == nil {
+			if fn == nil || recv == nil {
 				return nil
 			}
-			// priv.Bytes() is still the private key; everything else on
-			// a key object (PublicKey, Public, Curve) is public, and
-			// one-way crypto (hmac, hash sums) sanitizes by default.
-			if recv != nil && (path == "crypto/ecdh" || path == "crypto/ecdsa") && fn.Name() == "Bytes" {
+			if (path == "crypto/ecdh" || path == "crypto/ecdsa") && fn.Name() == "Bytes" {
 				return recv
 			}
-			if desc, ok := summaries[fn]; ok {
-				return &cfg.Source{Pos: call.Pos(), Desc: desc}
-			}
 			return nil
-		}
-		spec.Sink = func(n ast.Node, taintOf func(ast.Expr) *cfg.Source) {
-			cfg.Inspect(n, func(m ast.Node) bool {
-				call, ok := m.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sink := leakSink(pkg, call)
-				if sink == "" {
-					return true
-				}
-				for _, arg := range call.Args {
-					if src := taintOf(arg); src != nil {
-						diags = append(diags, Diagnostic{
-							Analyzer: a.Name(),
-							Pos:      pkg.Fset.Position(call.Pos()),
-							Message: fmt.Sprintf("%s flows into %s in %s",
-								src.Desc, sink, tgt.decl.Name.Name),
-						})
-						break
-					}
-				}
-				return true
-			})
-		}
-		cfg.Run(tgt.body, spec)
+		},
+		// Key material lives in byte slices, key structs and the
+		// containers holding them — a call whose result is a plain
+		// string/number/bool (DN(), Addr(), counters) or an error has
+		// extracted something presentable, not the secret.
+		resultOK: func(t types.Type) bool {
+			if isErrType(t) {
+				return false
+			}
+			_, basic := t.Underlying().(*types.Basic)
+			return !basic
+		},
+		// A struct that holds a key somewhere taints as a container, but
+		// projecting its non-secret fields (paths, certs, addresses)
+		// does not extract the key; the genuinely secret projections are
+		// re-tainted by secretSource at the field read itself.
+		cutFieldProjection: true,
 	}
-	return diags
+	ss := emptySummaries(pol)
+	if !a.Intraprocedural {
+		ss = computeSummaries(buildCallGraph(pkgs), pol)
+	}
+	return reportDeepFlows(pkgs, ss, a.Name(), func(src *cfg.Source, what, fn string) string {
+		return fmt.Sprintf("%s flows into %s in %s", src.Desc, what, fn)
+	})
 }
 
 // secretFields are module struct fields that hold channel secrets.

@@ -3,13 +3,14 @@ package vet
 import (
 	"go/ast"
 	"go/types"
-
-	"repro/internal/vet/cfg"
 )
 
 // taintTarget is one analyzable function body: a declared function or
 // a function literal (reported under the enclosing declaration's
 // name). Literals get their own CFG — the engine does not inline them.
+// Interprocedural propagation lives in summary.go (the deep-summary
+// fixpoint over the call graph); this file keeps the body collection
+// and call-resolution helpers the policies share.
 type taintTarget struct {
 	pkg  *Package
 	decl *ast.FuncDecl // enclosing declaration, for diagnostics
@@ -38,41 +39,6 @@ func taintTargets(pkgs []*Package) []taintTarget {
 				})
 			}
 		}
-	}
-	return out
-}
-
-// returnSummaries computes the one-level interprocedural summary for a
-// source policy: the set of module functions that can return a value
-// tainted by one of the policy's own sources (parameters are assumed
-// clean, and calls inside the summarized function do NOT consult other
-// summaries — propagation is one level deep by design; see DESIGN.md).
-// The returned map yields a description for each tainting function.
-func returnSummaries(pkgs []*Package, mkSpec func(pkg *Package) *cfg.Spec) map[*types.Func]string {
-	out := make(map[*types.Func]string)
-	for _, tgt := range taintTargets(pkgs) {
-		if tgt.fn == nil {
-			continue
-		}
-		if tgt.fn.Type().(*types.Signature).Results().Len() == 0 {
-			continue
-		}
-		spec := mkSpec(tgt.pkg)
-		fn := tgt.fn
-		spec.Sink = func(n ast.Node, taintOf func(ast.Expr) *cfg.Source) {
-			ret, ok := n.(*ast.ReturnStmt)
-			if !ok {
-				return
-			}
-			for _, r := range ret.Results {
-				if src := taintOf(r); src != nil {
-					if _, seen := out[fn]; !seen {
-						out[fn] = src.Desc
-					}
-				}
-			}
-		}
-		cfg.Run(tgt.body, spec)
 	}
 	return out
 }

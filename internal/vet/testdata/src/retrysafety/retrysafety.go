@@ -1,0 +1,44 @@
+// Package retrysafety exercises the retry-path reachability check:
+// code reachable from a retry/replay root may only re-issue procedures
+// the replay table classifies idempotent.
+package retrysafety
+
+const (
+	ProcNull  uint32 = 0
+	ProcRead  uint32 = 1
+	ProcWrite uint32 = 2
+)
+
+// replayClass classifies the package's procedures.
+//
+//sgfsvet:replay-table .
+var replayClass = map[uint32]bool{
+	ProcNull:  true,
+	ProcRead:  true,
+	ProcWrite: false,
+}
+
+type client struct{}
+
+func (c *client) call(proc uint32) error { return nil }
+
+// resend is a declared retry root; everything it reaches is on a
+// retry/replay path.
+//
+//sgfsvet:retry-path
+func resend(c *client) {
+	c.call(ProcRead) // reads replay safely
+	reissue(c)
+}
+
+// reissue is reachable from the root: issuing WRITE here re-executes a
+// non-idempotent operation on reconnect.
+func reissue(c *client) {
+	c.call(ProcWrite) // want "non-idempotent ProcWrite"
+}
+
+// freshWrite is NOT reachable from any retry root: the same WRITE use
+// is fine on a first-issue path.
+func freshWrite(c *client) {
+	c.call(ProcWrite)
+}

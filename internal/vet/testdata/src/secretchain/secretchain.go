@@ -1,0 +1,65 @@
+// Package secretchain exercises the deep call-graph summaries: key
+// material flowing through THREE intermediate module calls before
+// reaching a sink. Every flow here is invisible to intraprocedural
+// analysis — TestSecretFlowDeepChain pins that distinction by
+// asserting the Intraprocedural configuration reports nothing.
+package secretchain
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"fmt"
+	"log"
+)
+
+// hkdfExpand stands in for the module's derivation helper; its results
+// are key material by name.
+func hkdfExpand(secret []byte, label string) []byte { return secret }
+
+// a derives key material and hands it down a three-level call chain
+// ending in a log sink. The diagnostic lands here, where the tainted
+// value enters the chain.
+func a(master []byte) {
+	key := hkdfExpand(master, "session")
+	b(key) // want "derived key material"
+}
+
+func b(k []byte) { c(k) }
+
+func c(k []byte) { log.Printf("derived=%x", k) }
+
+// signDigest is a one-way transform: the private key is an argument of
+// the call whose result is returned, but the signature it produces is
+// designed to be transmitted. The summary must not mark signDigest as
+// returning the key.
+func signDigest(key *ecdsa.PrivateKey, digest []byte) ([]byte, error) {
+	return ecdsa.SignASN1(rand.Reader, key, digest)
+}
+
+// publishSignature is fine: only the laundered signature travels.
+func publishSignature(digest []byte) {
+	key, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	sig, err := signDigest(key, digest)
+	if err != nil {
+		return
+	}
+	fmt.Printf("sig=%x\n", sig)
+}
+
+// keyStore holds a private key; DN projects a printable name out of
+// it. Printing the projection must not count as printing the key.
+type keyStore struct {
+	key  *ecdsa.PrivateKey
+	name string
+}
+
+func (ks *keyStore) DN() string { return ks.name }
+
+// printDN is fine: a string getter on a key-holding receiver extracts
+// something presentable, not the secret.
+func printDN(digest []byte) {
+	key, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	ks := &keyStore{key: key, name: "alice"}
+	fmt.Println(ks.DN())
+}

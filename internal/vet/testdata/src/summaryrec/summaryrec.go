@@ -1,0 +1,55 @@
+// Package summaryrec exercises the summary fixpoint on call-graph
+// cycles: self-recursive and mutually recursive functions must
+// converge to summaries that carry taint around the cycle.
+package summaryrec
+
+import "log"
+
+// hkdfExpand stands in for the module's derivation helper; its results
+// are key material by name.
+func hkdfExpand(secret []byte, label string) []byte { return secret }
+
+// ping/pong are mutually recursive; the sink sits in ping's base case,
+// so pong's param-to-sink bit exists only once the cycle's fixpoint
+// has propagated it backwards.
+func ping(k []byte, n int) {
+	if n == 0 {
+		log.Printf("key=%x", k)
+		return
+	}
+	pong(k, n-1)
+}
+
+func pong(k []byte, n int) {
+	ping(k, n-1)
+}
+
+func kick(master []byte) {
+	key := hkdfExpand(master, "session")
+	pong(key, 3) // want "derived key material"
+}
+
+// echo is self-recursive and passes its argument through to its return
+// value; the summary must find ParamToReturn across the cycle.
+func echo(k []byte, n int) []byte {
+	if n == 0 {
+		return k
+	}
+	return echo(k, n-1)
+}
+
+func logEcho(master []byte) {
+	key := hkdfExpand(master, "session")
+	round := echo(key, 2)
+	log.Println(round) // want "derived key material"
+}
+
+// stops never terminates the recursion from the type system's point of
+// view but still summarizes (the fixpoint is over the lattice, not the
+// execution): no taint in, no taint out.
+func stops(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return stops(n - 1)
+}

@@ -13,13 +13,20 @@ import (
 // peer supplies a length word and the server calls make with it before
 // comparing it against anything. Taint starts at xdr.Decoder.Uint32 /
 // Uint64 and encoding/binary byte-order reads (record-marking
-// lengths), propagates one level through direct calls and through
-// struct fields that any decoder assigns from the wire, and is
-// sanitized by a branch that compares the value against an untainted
-// bound (`if n > maxFrame { ... }`, `if count > PreferredIO { count =
-// PreferredIO }`). Sinks are make sizes, io.CopyN lengths and
-// io.ReadAtLeast minimums.
-type UnboundedAlloc struct{}
+// lengths), propagates through module call chains via the call-graph
+// summary fixpoint (summary.go) and through struct fields that any
+// decoder assigns from the wire, and is sanitized by a branch that
+// compares the value against an untainted bound (`if n > maxFrame {
+// ... }`, `if count > PreferredIO { count = PreferredIO }`). The same
+// bound checks sanitize parameters during summary computation, so a
+// helper that clamps its argument before allocating summarizes as
+// safe. Sinks are make sizes, io.CopyN lengths and io.ReadAtLeast
+// minimums.
+type UnboundedAlloc struct {
+	// Intraprocedural disables the deep summaries (regression tests
+	// only; see SecretFlow.Intraprocedural).
+	Intraprocedural bool
+}
 
 // Name implements Analyzer.
 func (UnboundedAlloc) Name() string { return "unbounded-alloc" }
@@ -32,28 +39,28 @@ func (a UnboundedAlloc) Run(pkg *Package) []Diagnostic {
 
 // RunModule implements ModuleAnalyzer.
 func (a UnboundedAlloc) RunModule(pkgs []*Package) []Diagnostic {
-	base := func(pkg *Package) *cfg.Spec {
-		return &cfg.Spec{
-			Info:           pkg.Info,
-			SourceOf:       func(e ast.Expr) (string, bool) { return wireLengthSource(pkg, e) },
-			BoundSanitizer: true,
-		}
+	pol := summaryPolicy{
+		mkSpec: func(pkg *Package) *cfg.Spec {
+			return &cfg.Spec{
+				Info:           pkg.Info,
+				SourceOf:       func(e ast.Expr) (string, bool) { return wireLengthSource(pkg, e) },
+				BoundSanitizer: true,
+			}
+		},
+		sinkOf: func(pkg *Package, call *ast.CallExpr) (int, string) {
+			return allocSink(pkg, call)
+		},
+		// Length taint rides on integers. A constructor that decodes a
+		// size while building a *File does not return "a length" — only
+		// integer-valued calls carry the taint to their callers.
+		resultOK: isIntegerType,
 	}
 
-	// Pass A: which module functions return a wire-decoded value?
-	summaries := returnSummaries(pkgs, base)
-
-	withSummaries := func(pkg *Package) *cfg.Spec {
-		spec := base(pkg)
-		spec.CallTaint = func(call *ast.CallExpr, recv *cfg.Source, args []*cfg.Source) *cfg.Source {
-			if fn := calleeOf(pkg, call); fn != nil {
-				if desc, ok := summaries[fn]; ok {
-					return &cfg.Source{Pos: call.Pos(), Desc: desc}
-				}
-			}
-			return nil
-		}
-		return spec
+	// Pass A: per-function summaries — who returns wire-decoded
+	// values, whose parameters reach allocation sites unclamped.
+	ss := emptySummaries(pol)
+	if !a.Intraprocedural {
+		ss = computeSummaries(buildCallGraph(pkgs), pol)
 	}
 
 	// Pass B: integer struct fields assigned from the wire anywhere in
@@ -62,7 +69,9 @@ func (a UnboundedAlloc) RunModule(pkgs []*Package) []Diagnostic {
 	fields := cfg.State{}
 	for _, tgt := range taintTargets(pkgs) {
 		tgt := tgt
-		spec := withSummaries(tgt.pkg)
+		pkg := tgt.pkg
+		spec := pol.mkSpec(pkg)
+		spec.CallTaint = ss.callTaintFor(pkg)
 		spec.Sink = func(n ast.Node, taintOf func(ast.Expr) *cfg.Source) {
 			as, ok := n.(*ast.AssignStmt)
 			if !ok {
@@ -72,7 +81,7 @@ func (a UnboundedAlloc) RunModule(pkgs []*Package) []Diagnostic {
 				if src == nil {
 					return
 				}
-				f := fieldVar(tgt.pkg, lhs)
+				f := fieldVar(pkg, lhs)
 				if f == nil || !isIntegerType(f.Type()) {
 					return
 				}
@@ -98,38 +107,10 @@ func (a UnboundedAlloc) RunModule(pkgs []*Package) []Diagnostic {
 	}
 
 	// Pass C: report sinks, with wire-filled fields seeded everywhere.
-	var diags []Diagnostic
-	for _, tgt := range taintTargets(pkgs) {
-		tgt := tgt
-		spec := withSummaries(tgt.pkg)
-		spec.Seed = fields
-		spec.Sink = func(n ast.Node, taintOf func(ast.Expr) *cfg.Source) {
-			cfg.Inspect(n, func(m ast.Node) bool {
-				call, ok := m.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sinkArg, what := allocSink(tgt.pkg, call)
-				if sinkArg < 0 || sinkArg >= len(call.Args) {
-					return true
-				}
-				for _, arg := range call.Args[sinkArg:] {
-					if src := taintOf(arg); src != nil {
-						diags = append(diags, Diagnostic{
-							Analyzer: a.Name(),
-							Pos:      tgt.pkg.Fset.Position(call.Pos()),
-							Message: fmt.Sprintf("%s reaches %s without a bound check in %s",
-								src.Desc, what, tgt.decl.Name.Name),
-						})
-						break
-					}
-				}
-				return true
-			})
-		}
-		cfg.Run(tgt.body, spec)
-	}
-	return diags
+	return reportDeepFlowsSeeded(pkgs, ss, a.Name(), fields,
+		func(src *cfg.Source, what, fn string) string {
+			return fmt.Sprintf("%s reaches %s without a bound check in %s", src.Desc, what, fn)
+		})
 }
 
 // wireLengthSource recognizes expressions that yield an

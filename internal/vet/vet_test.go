@@ -1,11 +1,15 @@
 package vet
 
 import (
+	"go/ast"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/vet/cfg"
 )
 
 var wantRe = regexp.MustCompile(`want "([^"]+)"`)
@@ -128,6 +132,192 @@ func TestUnboundedAlloc(t *testing.T) {
 func TestWeakRand(t *testing.T) {
 	t.Parallel()
 	runFixture(t, "weakrand", WeakRand{})
+}
+
+func TestResourceLeak(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "resourceleak", ResourceLeak{})
+}
+
+func TestRetrySafety(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "retrysafety", RetrySafety{})
+}
+
+func TestSecretFlowDeepChain(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "secretchain", SecretFlow{})
+}
+
+func TestSummaryRecursion(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "summaryrec", SecretFlow{})
+}
+
+// loadFixturePkg loads one testdata/src package for tests that drive
+// analyzer internals directly instead of going through runFixture.
+func loadFixturePkg(t *testing.T, name string) *Package {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture does not typecheck: %v", terr)
+	}
+	return pkg
+}
+
+// TestSecretFlowDeepChainIntraprocedural pins what the call-graph
+// summaries buy: the same three-level fixture reports nothing when the
+// summaries are disabled. If this starts failing with findings, the
+// fixture no longer needs interprocedural reasoning and has stopped
+// guarding the summary engine.
+func TestSecretFlowDeepChainIntraprocedural(t *testing.T) {
+	t.Parallel()
+	pkg := loadFixturePkg(t, "secretchain")
+	a := SecretFlow{Intraprocedural: true}
+	for _, d := range a.Run(pkg) {
+		t.Errorf("intraprocedural analysis should miss the deep chain, found: %s", d)
+	}
+}
+
+// TestSummaryFixpointConvergence drives computeSummaries directly over
+// the recursive fixture and checks the facts that only a converged
+// cycle can produce: the sink bit travels backwards around the
+// ping/pong cycle and the pass-through bit around echo's self-cycle.
+func TestSummaryFixpointConvergence(t *testing.T) {
+	t.Parallel()
+	pkg := loadFixturePkg(t, "summaryrec")
+	pol := summaryPolicy{
+		mkSpec: func(pkg *Package) *cfg.Spec {
+			return &cfg.Spec{
+				Info: pkg.Info,
+				SourceOf: func(e ast.Expr) (string, bool) {
+					if call, ok := e.(*ast.CallExpr); ok {
+						if fn, _ := stdCallee(pkg, call); fn != nil && fn.Name() == "hkdfExpand" {
+							return "derived key material", true
+						}
+					}
+					return "", false
+				},
+			}
+		},
+		sinkOf: func(pkg *Package, call *ast.CallExpr) (int, string) {
+			if fn, path := stdCallee(pkg, call); fn != nil && path == "log" {
+				return 0, "log." + fn.Name()
+			}
+			return -1, ""
+		},
+	}
+	ss := computeSummaries(buildCallGraph([]*Package{pkg}), pol)
+
+	fnByName := func(name string) *types.Func {
+		obj := pkg.Types.Scope().Lookup(name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			t.Fatalf("fixture function %s not found", name)
+		}
+		return fn
+	}
+	for _, name := range []string{"ping", "pong"} {
+		sum := ss.fns[fnByName(name)]
+		if sum == nil {
+			t.Fatalf("no summary computed for %s", name)
+		}
+		if len(sum.ParamToSink) == 0 || sum.ParamToSink[0] == "" {
+			t.Errorf("%s: ParamToSink[0] = %q, want the log sink propagated around the cycle", name, sum.ParamToSink)
+		}
+	}
+	echo := ss.fns[fnByName("echo")]
+	if echo == nil {
+		t.Fatal("no summary computed for echo")
+	}
+	if len(echo.ParamToReturn) == 0 || !echo.ParamToReturn[0] {
+		t.Errorf("echo: ParamToReturn = %v, want the pass-through found across the self-cycle", echo.ParamToReturn)
+	}
+	stops := ss.fns[fnByName("stops")]
+	if stops == nil {
+		t.Fatal("no summary computed for stops")
+	}
+	if stops.ReturnDesc != "" || stops.ParamToReturn[0] || stops.ParamToSink[0] != "" {
+		t.Errorf("stops: summary %+v, want no flows for the taint-free cycle", stops)
+	}
+}
+
+// TestCFGWholeModule is the crash/termination regression for the CFG
+// builder and solver: every function body in the real module (function
+// literals included) must build and reach a dataflow fixpoint without
+// panicking and within a hard iteration budget.
+func TestCFGWholeModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes the whole module; skipped in -short mode")
+	}
+	t.Parallel()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := PackageDirs(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	bodies := 0
+	for _, tgt := range taintTargets(pkgs) {
+		tgt := tgt
+		bodies++
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: CFG panicked: %v", tgt.pkg.Fset.Position(tgt.body.Pos()), r)
+				}
+			}()
+			g := cfg.Build(tgt.body)
+			steps := 0
+			tr := cfg.Transfer{
+				Entry: 0,
+				Node: func(f cfg.Fact, n ast.Node) cfg.Fact {
+					steps++
+					if steps > 2_000_000 {
+						t.Fatalf("%s: dataflow did not terminate", tgt.pkg.Fset.Position(tgt.body.Pos()))
+					}
+					return f
+				},
+				Edge:  func(f cfg.Fact, e cfg.Edge) cfg.Fact { return f },
+				Join:  func(a, b cfg.Fact) cfg.Fact { return a },
+				Equal: func(a, b cfg.Fact) bool { return true },
+			}
+			in := cfg.Solve(g, tr)
+			visited := 0
+			cfg.Replay(g, tr, in, func(f cfg.Fact, n ast.Node) { visited++ })
+			if len(tgt.body.List) > 0 && visited == 0 {
+				t.Errorf("%s: non-empty body replayed zero nodes", tgt.pkg.Fset.Position(tgt.body.Pos()))
+			}
+		}()
+	}
+	if bodies == 0 {
+		t.Fatal("module yielded no function bodies")
+	}
 }
 
 func TestCtxDeadlinePackageFilter(t *testing.T) {

@@ -18,6 +18,8 @@ import (
 // and assignments into secret-named variables or fields. Values
 // converted to time.Duration are classified benign at the conversion:
 // backoff jitter (oncrpc reconnect) is exactly what math/rand is for.
+// Module call chains propagate through the call-graph summary fixpoint
+// (summary.go).
 type WeakRand struct{}
 
 // Name implements Analyzer.
@@ -42,21 +44,24 @@ func (a WeakRand) RunModule(pkgs []*Package) []Diagnostic {
 			},
 		}
 	}
-	summaries := returnSummaries(pkgs, base)
+	pol := summaryPolicy{
+		mkSpec: base,
+		sinkOf: func(pkg *Package, call *ast.CallExpr) (int, string) {
+			sink, fill := cryptoSink(pkg, call)
+			if sink == "" || fill {
+				return -1, ""
+			}
+			return 0, sink
+		},
+	}
+	ss := computeSummaries(buildCallGraph(pkgs), pol)
 
 	var diags []Diagnostic
 	for _, tgt := range taintTargets(pkgs) {
 		tgt := tgt
 		pkg := tgt.pkg
 		spec := base(pkg)
-		spec.CallTaint = func(call *ast.CallExpr, recv *cfg.Source, args []*cfg.Source) *cfg.Source {
-			if fn := calleeOf(pkg, call); fn != nil {
-				if desc, ok := summaries[fn]; ok {
-					return &cfg.Source{Pos: call.Pos(), Desc: desc}
-				}
-			}
-			return nil
-		}
+		spec.CallTaint = ss.callTaintFor(pkg)
 		report := func(pos ast.Node, src *cfg.Source, sink string) {
 			diags = append(diags, Diagnostic{
 				Analyzer: a.Name(),
@@ -83,11 +88,7 @@ func (a WeakRand) RunModule(pkgs []*Package) []Diagnostic {
 				if !ok {
 					return true
 				}
-				sink, fill := cryptoSink(pkg, call)
-				if sink == "" {
-					return true
-				}
-				if fill {
+				if sink, fill := cryptoSink(pkg, call); fill && sink != "" {
 					// rand.Read(buf): the *argument* is filled with weak
 					// bytes; flag secret-named destinations.
 					for _, arg := range call.Args {
@@ -97,12 +98,11 @@ func (a WeakRand) RunModule(pkgs []*Package) []Diagnostic {
 					}
 					return true
 				}
-				for _, arg := range call.Args {
-					if src := taintOf(arg); src != nil {
-						report(call, src, sink)
-						break
-					}
-				}
+				// Direct crypto sinks plus module helpers whose summary
+				// forwards an argument into one.
+				ss.forCallSinks(pkg, call, taintOf, func(src *cfg.Source, what string) {
+					report(call, src, what)
+				})
 				return true
 			})
 		}

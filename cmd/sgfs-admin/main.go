@@ -46,11 +46,13 @@ func main() {
 	account := fs.String("account", "", "local account name")
 	uid := fs.Uint("uid", 0, "account uid")
 	gid := fs.Uint("gid", 0, "account gid")
-	serverFSS := fs.String("server-fss", "", "server-host FSS URL")
+	serverFSS := fs.String("server-fss", "", "server-host FSS URL (comma-separate for a replicated session)")
 	clientFSS := fs.String("client-fss", "", "client-host FSS URL")
-	upstream := fs.String("upstream", "", "NFS server address on the file server")
+	upstream := fs.String("upstream", "", "NFS server address on the file server (comma-separate to pair with -server-fss)")
 	suite := fs.String("suite", "aes", "channel suite")
 	cache := fs.Bool("cache", false, "enable disk caching on the client proxy")
+	replicas := fs.Int("replicas", 0, "replicas per block for a replicated session (0 = all servers)")
+	quorum := fs.Int("quorum", 0, "write acks required for a replicated session (0 = majority)")
 	id := fs.String("id", "", "session id")
 	path := fs.String("path", "", "path within the export (setacl)")
 	entries := fs.String("entry", "", "comma-separated DN=perm ACL entries (setacl)")
@@ -87,16 +89,28 @@ func main() {
 		if perr != nil {
 			log.Fatalf("sgfs-admin: %v", perr)
 		}
-		var res services.ScheduleSessionResponse
-		_, err = services.Call(*dssURL, "ScheduleSession", &services.ScheduleSessionRequest{
-			Export: *export, ServerFSS: *serverFSS, ClientFSS: *clientFSS,
-			Upstream: *upstream, Suite: *suite,
+		sreq := &services.ScheduleSessionRequest{
+			Export: *export, ClientFSS: *clientFSS, Suite: *suite,
 			ProxyCertPEM: certPEM, ProxyKeyPEM: keyPEM,
 			DiskCache: *cache,
-		}, cred, roots, &res)
+		}
+		if fssList := splitList(*serverFSS); len(fssList) > 1 {
+			sreq.ServerFSSs = fssList
+			sreq.Upstreams = splitList(*upstream)
+			sreq.ReplicaCount = *replicas
+			sreq.Quorum = *quorum
+		} else {
+			sreq.ServerFSS = *serverFSS
+			sreq.Upstream = *upstream
+		}
+		var res services.ScheduleSessionResponse
+		_, err = services.Call(*dssURL, "ScheduleSession", sreq, cred, roots, &res)
 		if err == nil {
 			fmt.Printf("session scheduled:\n  server session %s at %s\n  client session %s\n  mount address %s\n",
 				res.ServerID, res.ServerAddr, res.ClientID, res.MountAddr)
+			for i := range res.ServerIDs {
+				fmt.Printf("  replica %d: session %s at %s\n", i, res.ServerIDs[i], res.ServerAddrs[i])
+			}
 		}
 		report(err, "")
 	case "destroy":
@@ -122,6 +136,17 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func report(err error, format string, args ...any) {

@@ -34,6 +34,14 @@
 //	ca = /etc/sgfs/ca.pem
 //	disk_cache = /var/cache/sgfs
 //	rekey_interval = 30m
+//
+// A replicated client session replaces "server" with a server list
+// plus optional replication knobs:
+//
+//	servers = fs1.grid:30049, fs2.grid:30049, fs3.grid:30049
+//	replicas = 3
+//	quorum = 2
+//	hedge_delay = 30ms
 package main
 
 import (

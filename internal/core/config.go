@@ -42,6 +42,20 @@ type Config struct {
 	// Upstream is the NFS server address (server role only).
 	Upstream string
 
+	// Servers lists replica server-proxy addresses (client role). When
+	// non-empty it supersedes Server: the session replicates writes
+	// across the set and hedges reads between members.
+	Servers []string
+	// Replicas (k) is how many replicas hold each block; 0 means all
+	// servers.
+	Replicas int
+	// Quorum is how many replica acks a write needs before it is
+	// acknowledged; 0 means a majority of Replicas.
+	Quorum int
+	// HedgeDelay is how long a replicated read waits on the first
+	// replica before hedging to the next (0 = proxy default).
+	HedgeDelay time.Duration
+
 	// Security names the channel suite: one of the securechan suite
 	// names, or "none" for a gfs-style insecure session.
 	Security string
@@ -81,8 +95,22 @@ func (c *Config) Suite() (securechan.Suite, error) {
 func (c *Config) Validate() error {
 	switch c.Role {
 	case RoleClient:
-		if c.Server == "" {
-			return fmt.Errorf("core: client session requires server address")
+		if c.Server == "" && len(c.Servers) == 0 {
+			return fmt.Errorf("core: client session requires server address(es)")
+		}
+		if n := len(c.Servers); n > 0 {
+			if c.Replicas > n {
+				return fmt.Errorf("core: replicas (%d) exceeds server count (%d)", c.Replicas, n)
+			}
+			k := c.Replicas
+			if k == 0 {
+				k = n
+			}
+			if c.Quorum > k {
+				return fmt.Errorf("core: quorum (%d) exceeds replicas (%d)", c.Quorum, k)
+			}
+		} else if c.Replicas > 0 || c.Quorum > 0 || c.HedgeDelay > 0 {
+			return fmt.Errorf("core: replication settings require a servers list")
 		}
 	case RoleServer:
 		if c.Upstream == "" {
@@ -163,6 +191,31 @@ func (c *Config) set(key, val string) error {
 		c.Listen = val
 	case "server":
 		c.Server = val
+	case "servers":
+		c.Servers = nil
+		for _, s := range strings.Split(val, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				c.Servers = append(c.Servers, s)
+			}
+		}
+	case "replicas":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("replicas: %w", err)
+		}
+		c.Replicas = n
+	case "quorum":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("quorum: %w", err)
+		}
+		c.Quorum = n
+	case "hedge_delay":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return fmt.Errorf("hedge_delay: %w", err)
+		}
+		c.HedgeDelay = d
 	case "upstream":
 		c.Upstream = val
 	case "security":
@@ -227,6 +280,16 @@ func (c *Config) Serialize() []byte {
 	put("export", c.Export)
 	put("listen", c.Listen)
 	put("server", c.Server)
+	put("servers", strings.Join(c.Servers, ","))
+	if c.Replicas > 0 {
+		put("replicas", strconv.Itoa(c.Replicas))
+	}
+	if c.Quorum > 0 {
+		put("quorum", strconv.Itoa(c.Quorum))
+	}
+	if c.HedgeDelay > 0 {
+		put("hedge_delay", c.HedgeDelay.String())
+	}
 	put("upstream", c.Upstream)
 	put("security", c.Security)
 	put("cert", c.CertPath)

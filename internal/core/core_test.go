@@ -89,6 +89,147 @@ func TestSerializeRoundTrip(t *testing.T) {
 	}
 }
 
+const replicatedConfig = `
+role = client
+export = /GFS/alice
+servers = fs1:4000, fs2:4000, fs3:4000
+replicas = 3
+quorum = 2
+hedge_delay = 25ms
+`
+
+func TestParseReplicatedConfig(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(replicatedConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Servers) != 3 || cfg.Servers[1] != "fs2:4000" {
+		t.Fatalf("servers: %+v", cfg.Servers)
+	}
+	if cfg.Replicas != 3 || cfg.Quorum != 2 || cfg.HedgeDelay != 25*time.Millisecond {
+		t.Fatalf("replication knobs: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize must round-trip the replication fields.
+	out, err := Parse(bytes.NewReader(cfg.Serialize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Servers) != 3 || out.Replicas != 3 || out.Quorum != 2 || out.HedgeDelay != cfg.HedgeDelay {
+		t.Fatalf("round trip: %+v", out)
+	}
+
+	// Validation sanity: replication knobs need a server list, and
+	// quorum/replicas cannot exceed what the list can hold.
+	bad := []string{
+		"role = client\nexport = /x\nserver = a:1\nreplicas = 2\n",
+		"role = client\nexport = /x\nservers = a:1,b:1\nreplicas = 3\n",
+		"role = client\nexport = /x\nservers = a:1,b:1\nquorum = 3\n",
+		"role = client\nexport = /x\nservers = a:1,b:1,c:1\nreplicas = 2\nquorum = 3\n",
+	}
+	for _, src := range bad {
+		cfg, err := Parse(strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("validated bad config %q", src)
+		}
+	}
+}
+
+// TestReplicatedSessionFromConfig starts three server sessions and a
+// replicated client session purely from Config structs and checks a
+// write lands on every backend.
+func TestReplicatedSessionFromConfig(t *testing.T) {
+	backends := make([]*vfs.MemFS, 3)
+	addrs := make([]string, 3)
+	for i := range backends {
+		backends[i] = vfs.NewMemFS()
+		rpc := oncrpc.NewServer()
+		nfs3.NewServer(backends[i], uint64(i+1)).Register(rpc)
+		md := mountd.NewServer()
+		md.AddExport(&mountd.Export{Path: "/GFS/alice", FS: backends[i]})
+		md.Register(rpc)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go rpc.Serve(l)
+		defer rpc.Close()
+
+		srv, err := StartServerSession(&Config{
+			Role: RoleServer, Export: "/GFS/alice",
+			Upstream: l.Addr().String(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+
+	cli, err := StartClientSession(&Config{
+		Role: RoleClient, Export: "/GFS/alice",
+		Servers: addrs, Replicas: 3, Quorum: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx := context.Background()
+	addr := cli.Addr()
+	fs, err := nfsclient.Mount(ctx, func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		"/GFS/alice", nfsclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	payload := []byte("replicated from config")
+	f, err := fs.Create(ctx, "conf.txt", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quorum acks at 2 of 3; poll for the straggler.
+	for i, be := range backends {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var got []byte
+			if h, _, err := be.Lookup(be.Root(), "conf.txt"); err == nil {
+				buf := make([]byte, len(payload)+16)
+				if n, _, err := be.Read(h, 0, buf); err == nil {
+					got = buf[:n]
+				}
+			}
+			if string(got) == string(payload) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("backend %d never converged: %q", i, got)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	if snap, ok := cli.ReplicaStats(); !ok || snap.QuorumWrites == 0 {
+		t.Fatalf("replica stats: ok=%v %+v", ok, snap)
+	}
+}
+
 // TestSessionsEndToEnd drives the full config-file path: write certs,
 // gridmap and accounts to disk, start both sessions from Config
 // structs, mount through them, and reconfigure live.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gridmap"
 	"repro/internal/gridsec"
 	"repro/internal/idmap"
+	"repro/internal/metrics"
 	"repro/internal/proxy"
 	"repro/internal/securechan"
 )
@@ -165,14 +166,34 @@ func StartClientSession(cfg *Config) (*ClientSession, error) {
 			return nil, err
 		}
 	}
-	server := cfg.Server
-	cp, err := proxy.NewClientProxy(proxy.ClientConfig{
-		ServerDial:    func() (net.Conn, error) { return net.Dial("tcp", server) },
+	pcfg := proxy.ClientConfig{
 		Channel:       channel,
 		ExportPath:    cfg.Export,
 		DiskCache:     dc,
 		RekeyInterval: cfg.RekeyInterval,
-	})
+	}
+	if len(cfg.Servers) > 0 {
+		// Replicated session: one dialer per server proxy; the
+		// replication layer owns placement, quorum and failover.
+		backends := make([]proxy.ReplicaBackendDef, len(cfg.Servers))
+		for i, addr := range cfg.Servers {
+			addr := addr
+			backends[i] = proxy.ReplicaBackendDef{
+				Addr: addr,
+				Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			}
+		}
+		pcfg.Replication = &proxy.ReplicationConfig{
+			Backends:   backends,
+			Replicas:   cfg.Replicas,
+			Quorum:     cfg.Quorum,
+			HedgeDelay: cfg.HedgeDelay,
+		}
+	} else {
+		server := cfg.Server
+		pcfg.ServerDial = func() (net.Conn, error) { return net.Dial("tcp", server) }
+	}
+	cp, err := proxy.NewClientProxy(pcfg)
 	if err != nil {
 		if dc != nil {
 			dc.Close()
@@ -209,6 +230,12 @@ func (s *ClientSession) Flush(ctx context.Context) error { return s.proxy.FlushA
 
 // CacheStats reports disk-cache counters.
 func (s *ClientSession) CacheStats() (cache.Stats, bool) { return s.proxy.CacheStats() }
+
+// ReplicaStats reports replication counters; ok is false for
+// unreplicated sessions.
+func (s *ClientSession) ReplicaStats() (metrics.ReplicaSnapshot, bool) {
+	return s.proxy.ReplicaStats()
+}
 
 // Close flushes write-back data and shuts the session down.
 func (s *ClientSession) Close() error {

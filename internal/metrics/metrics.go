@@ -230,6 +230,152 @@ func (s *DataPathStats) Snapshot() DataPathSnapshot {
 	}
 }
 
+// BackendHealth is a replica backend's place in the ejection/
+// reintegration state machine.
+type BackendHealth int32
+
+// Backend health states. A backend starts Healthy, is Ejected after
+// consecutive failures, moves to Probing while reintegration probes
+// run, and returns to Healthy when one succeeds.
+const (
+	BackendHealthy BackendHealth = iota
+	BackendEjected
+	BackendProbing
+)
+
+// String renders the health state for logs.
+func (h BackendHealth) String() string {
+	switch h {
+	case BackendHealthy:
+		return "healthy"
+	case BackendEjected:
+		return "ejected"
+	case BackendProbing:
+		return "probing"
+	default:
+		return "unknown"
+	}
+}
+
+// BackendStats counts one replica backend's life under fire: calls,
+// failures, ejections, reintegration probes, and its current health
+// state. All fields are atomic.
+type BackendStats struct {
+	// Health is the current BackendHealth state.
+	Health atomic.Int32
+	// Calls counts RPCs routed to this backend (including fan-out
+	// legs and repairs); Failures counts the ones that failed at the
+	// transport level.
+	Calls    atomic.Uint64
+	Failures atomic.Uint64
+	// Ejections counts healthy→ejected transitions; Probes counts
+	// reintegration probe attempts; Reintegrations counts
+	// probing→healthy transitions.
+	Ejections      atomic.Uint64
+	Probes         atomic.Uint64
+	Reintegrations atomic.Uint64
+}
+
+// BackendSnapshot is a plain-value copy of BackendStats.
+type BackendSnapshot struct {
+	Health         BackendHealth
+	Calls          uint64
+	Failures       uint64
+	Ejections      uint64
+	Probes         uint64
+	Reintegrations uint64
+}
+
+// ReplicaStats counts multi-backend replication events in the client
+// proxy: quorum write fan-out, hedged reads, backend health
+// transitions, and background repair. All counters are atomic; the
+// per-backend slice is fixed at construction.
+type ReplicaStats struct {
+	// Backends holds one BackendStats per replica backend, indexed by
+	// backend ID.
+	Backends []*BackendStats
+	// QuorumWrites counts mutations acknowledged at quorum;
+	// QuorumFailures counts mutations refused because quorum was
+	// unreachable; QuorumLost counts transitions into degraded
+	// read-only service (healthy backends < quorum).
+	QuorumWrites   atomic.Uint64
+	QuorumFailures atomic.Uint64
+	QuorumLost     atomic.Uint64
+	// HedgedReads counts second requests launched after the hedge
+	// delay; HedgeWins counts hedges that beat the primary;
+	// ReadFailovers counts reads answered by a non-primary replica
+	// after the primary failed outright.
+	HedgedReads   atomic.Uint64
+	HedgeWins     atomic.Uint64
+	ReadFailovers atomic.Uint64
+	// RepairsQueued counts straggler blocks enqueued for background
+	// repair; RepairedBlocks counts repairs completed; RepairDrops
+	// counts repairs shed because the queue was full (a later full
+	// resync must cover them).
+	RepairsQueued  atomic.Uint64
+	RepairedBlocks atomic.Uint64
+	RepairDrops    atomic.Uint64
+}
+
+// NewReplicaStats builds stats for n backends.
+func NewReplicaStats(n int) *ReplicaStats {
+	s := &ReplicaStats{Backends: make([]*BackendStats, n)}
+	for i := range s.Backends {
+		s.Backends[i] = &BackendStats{}
+	}
+	return s
+}
+
+// Backend returns the per-backend counters for id, or nil when out of
+// range (callers may run with stats disabled).
+func (s *ReplicaStats) Backend(id int) *BackendStats {
+	if s == nil || id < 0 || id >= len(s.Backends) {
+		return nil
+	}
+	return s.Backends[id]
+}
+
+// ReplicaSnapshot is a plain-value copy of ReplicaStats.
+type ReplicaSnapshot struct {
+	Backends       []BackendSnapshot
+	QuorumWrites   uint64
+	QuorumFailures uint64
+	QuorumLost     uint64
+	HedgedReads    uint64
+	HedgeWins      uint64
+	ReadFailovers  uint64
+	RepairsQueued  uint64
+	RepairedBlocks uint64
+	RepairDrops    uint64
+}
+
+// Snapshot returns a copy of the counters (each read atomically).
+func (s *ReplicaStats) Snapshot() ReplicaSnapshot {
+	snap := ReplicaSnapshot{
+		Backends:       make([]BackendSnapshot, len(s.Backends)),
+		QuorumWrites:   s.QuorumWrites.Load(),
+		QuorumFailures: s.QuorumFailures.Load(),
+		QuorumLost:     s.QuorumLost.Load(),
+		HedgedReads:    s.HedgedReads.Load(),
+		HedgeWins:      s.HedgeWins.Load(),
+		ReadFailovers:  s.ReadFailovers.Load(),
+		RepairsQueued:  s.RepairsQueued.Load(),
+		RepairedBlocks: s.RepairedBlocks.Load(),
+		RepairDrops:    s.RepairDrops.Load(),
+	}
+	for i, b := range s.Backends {
+		snap.Backends[i] = BackendSnapshot{
+			Health:         BackendHealth(b.Health.Load()),
+			Calls:          b.Calls.Load(),
+			Failures:       b.Failures.Load(),
+			Ejections:      b.Ejections.Load(),
+			Probes:         b.Probes.Load(),
+			Reintegrations: b.Reintegrations.Load(),
+		}
+	}
+	return snap
+}
+
 // ProcessCPU returns the process's cumulative user and system CPU
 // time from rusage.
 func ProcessCPU() (user, system time.Duration) {

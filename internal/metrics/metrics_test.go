@@ -96,3 +96,41 @@ func TestProcessCPU(t *testing.T) {
 		t.Fatal("rusage returned zero after work")
 	}
 }
+
+func TestReplicaStatsSnapshot(t *testing.T) {
+	s := NewReplicaStats(3)
+	s.QuorumWrites.Add(4)
+	s.HedgedReads.Add(2)
+	s.HedgeWins.Add(1)
+	s.RepairsQueued.Add(5)
+	s.RepairedBlocks.Add(3)
+	s.Backend(1).Failures.Add(7)
+	s.Backend(1).Ejections.Add(1)
+	s.Backend(1).Health.Store(int32(BackendEjected))
+	s.Backend(2).Calls.Add(9)
+
+	snap := s.Snapshot()
+	if len(snap.Backends) != 3 {
+		t.Fatalf("snapshot has %d backends, want 3", len(snap.Backends))
+	}
+	if snap.QuorumWrites != 4 || snap.HedgedReads != 2 || snap.HedgeWins != 1 ||
+		snap.RepairsQueued != 5 || snap.RepairedBlocks != 3 {
+		t.Fatalf("scalar counters wrong: %+v", snap)
+	}
+	if b := snap.Backends[1]; b.Failures != 7 || b.Ejections != 1 || b.Health != BackendEjected {
+		t.Fatalf("backend 1 counters wrong: %+v", b)
+	}
+	if snap.Backends[2].Calls != 9 || snap.Backends[0].Health != BackendHealthy {
+		t.Fatalf("backend counters wrong: %+v", snap.Backends)
+	}
+	// Out-of-range and nil lookups are safe no-ops for callers running
+	// without stats.
+	if s.Backend(99) != nil || (*ReplicaStats)(nil).Backend(0) != nil {
+		t.Fatal("out-of-range Backend lookup not nil")
+	}
+	for h, want := range map[BackendHealth]string{BackendHealthy: "healthy", BackendEjected: "ejected", BackendProbing: "probing", BackendHealth(9): "unknown"} {
+		if h.String() != want {
+			t.Fatalf("health %d renders %q", h, h.String())
+		}
+	}
+}

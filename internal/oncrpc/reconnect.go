@@ -44,8 +44,24 @@ type ReconnectOpts struct {
 	// replayed on a fresh session after a transport failure. Nil
 	// means nothing is replayed.
 	Idempotent func(proc uint32) bool
+	// ProcName, when non-nil, resolves procedure numbers to protocol
+	// names so refusal errors say which call blocked replay ("WRITE"
+	// rather than "proc 7"). Nil falls back to the bare number.
+	ProcName func(proc uint32) string
 	// Stats, when non-nil, accumulates fault-tolerance counters.
 	Stats *metrics.ChannelStats
+}
+
+// procLabel renders a procedure for error messages: "WRITE (proc 7)"
+// when a ProcName resolver is configured and knows the number, else
+// "proc 7".
+func (o *ReconnectOpts) procLabel(proc uint32) string {
+	if o.ProcName != nil {
+		if name := o.ProcName(proc); name != "" {
+			return fmt.Sprintf("%s (proc %d)", name, proc)
+		}
+	}
+	return fmt.Sprintf("proc %d", proc)
 }
 
 func (o *ReconnectOpts) attempts() int {
@@ -318,7 +334,7 @@ func (r *ReconnectClient) call(ctx context.Context, proc uint32, cred *OpaqueAut
 			if s := r.opts.Stats; s != nil {
 				s.NonIdempotentFailures.Add(1)
 			}
-			return fmt.Errorf("%w: proc %d: %v", ErrNonIdempotentReplay, proc, err)
+			return fmt.Errorf("%w: %s: %v", ErrNonIdempotentReplay, r.opts.procLabel(proc), err)
 		}
 		lastErr = err
 	}

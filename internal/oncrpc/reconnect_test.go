@@ -3,7 +3,9 @@ package oncrpc
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -124,6 +126,50 @@ func TestReconnectRefusesNonIdempotentReplay(t *testing.T) {
 	}
 	if h.stats.Snapshot().NonIdempotentFailures == 0 {
 		t.Fatal("NonIdempotentFailures counter stayed zero")
+	}
+}
+
+// TestReconnectReplayErrorNamesProc pins the error-message contract:
+// with a ProcName resolver configured, a refused replay names the
+// blocked call so failover logs identify it without a number table.
+func TestReconnectReplayErrorNamesProc(t *testing.T) {
+	t.Parallel()
+	names := func(proc uint32) string {
+		if proc == procSlow {
+			return "SLOW"
+		}
+		return ""
+	}
+	h := newReconnectHarness(t, ReconnectOpts{Idempotent: isIdem, ProcName: names})
+	ctx := context.Background()
+
+	if err := h.rc.Call(ctx, procEcho, &echoArgs{S: "warm"}, &echoArgs{}); err != nil {
+		t.Fatal(err)
+	}
+	callErr := make(chan error, 1)
+	go func() {
+		var out u32
+		callErr <- h.rc.Call(ctx, procSlow, nil, &out)
+	}()
+	time.Sleep(15 * time.Millisecond)
+	h.cutLive()
+	err := <-callErr
+	if !errors.Is(err, ErrNonIdempotentReplay) {
+		t.Fatalf("non-idempotent call failed with %v, want ErrNonIdempotentReplay", err)
+	}
+	want := fmt.Sprintf("SLOW (proc %d)", procSlow)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("replay refusal %q does not name the blocked call %q", err, want)
+	}
+
+	// Unresolvable procs keep the numeric fallback.
+	var o ReconnectOpts
+	if got := o.procLabel(7); got != "proc 7" {
+		t.Fatalf("procLabel without resolver = %q, want %q", got, "proc 7")
+	}
+	o.ProcName = func(uint32) string { return "" }
+	if got := o.procLabel(7); got != "proc 7" {
+		t.Fatalf("procLabel with unknown proc = %q, want %q", got, "proc 7")
 	}
 }
 

@@ -1,0 +1,143 @@
+// Package placement is the replicated-namespace placement layer shared
+// by the data path (internal/proxy) and the management plane
+// (internal/services): it maps file block ranges onto ordered replica
+// sets of backends with deterministic rendezvous hashing, so every
+// client proxy, repair worker and scheduler computes identical replica
+// sets with no coordination.
+package placement
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Placement is the replicated-namespace placement layer: it maps file
+// block ranges onto ordered replica sets of backends. The paper's
+// FSS/DSS broker one session against one server; a Placement describes
+// one session against N servers, so a dead backend degrades the
+// replica set instead of killing the mount.
+//
+// Placement is deterministic rendezvous (highest-random-weight)
+// hashing: every (file handle, block group, backend) triple hashes to
+// a weight, and a block group's replica set is the top-Replicas
+// backends by weight. Determinism means every client proxy, repair
+// worker and scheduler computes identical replica sets with no
+// coordination, and adding a backend reshuffles only ~1/N of the
+// groups.
+type Placement struct {
+	// Backends is the replica pool. IDs index the client proxy's
+	// dialer list; Addr is informational (logs, scheduling responses).
+	Backends []BackendInfo
+	// Replicas is k: how many backends hold each block group.
+	// Defaults to min(3, len(Backends)).
+	Replicas int
+	// Quorum is how many replica acks a write needs before it is
+	// acknowledged. Defaults to Replicas/2+1.
+	Quorum int
+	// GroupBlocks is the placement granularity in cache blocks:
+	// GroupBlocks consecutive blocks share one replica set, so
+	// sequential I/O keeps hitting the same backends. Default 64
+	// (2 MiB at the default 32 KiB block size).
+	GroupBlocks uint64
+}
+
+// BackendInfo describes one replica backend (a server-side proxy
+// endpoint).
+type BackendInfo struct {
+	ID   int
+	Addr string
+}
+
+// NewPlacement builds a validated placement over backends. replicas
+// and quorum of 0 select the defaults.
+func New(backends []BackendInfo, replicas, quorum int) (*Placement, error) {
+	p := &Placement{Backends: backends, Replicas: replicas, Quorum: quorum}
+	if err := p.Init(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Init applies defaults and validates the placement.
+func (p *Placement) Init() error {
+	n := len(p.Backends)
+	if n == 0 {
+		return fmt.Errorf("placement: needs at least one backend")
+	}
+	if p.Replicas == 0 {
+		p.Replicas = 3
+		if n < 3 {
+			p.Replicas = n
+		}
+	}
+	if p.Replicas < 1 || p.Replicas > n {
+		return fmt.Errorf("placement: replicas %d out of range [1,%d]", p.Replicas, n)
+	}
+	if p.Quorum == 0 {
+		p.Quorum = p.Replicas/2 + 1
+	}
+	if p.Quorum < 1 || p.Quorum > p.Replicas {
+		return fmt.Errorf("placement: quorum %d out of range [1,%d]", p.Quorum, p.Replicas)
+	}
+	if p.GroupBlocks == 0 {
+		p.GroupBlocks = 64
+	}
+	seen := make(map[int]bool, n)
+	for _, b := range p.Backends {
+		if seen[b.ID] {
+			return fmt.Errorf("placement: has duplicate backend id %d", b.ID)
+		}
+		seen[b.ID] = true
+	}
+	return nil
+}
+
+// Group returns the placement group a block index belongs to.
+func (p *Placement) Group(block uint64) uint64 { return block / p.GroupBlocks }
+
+// ReplicasFor returns the ordered replica set (backend IDs, primary
+// first) holding the given block of the file identified by fh. The
+// order is part of the contract: reads prefer earlier entries, so
+// load spreads by group while every computation of the same group
+// agrees on the primary.
+func (p *Placement) ReplicasFor(fh []byte, block uint64) []int {
+	type weighted struct {
+		id int
+		w  uint64
+	}
+	group := p.Group(block)
+	ws := make([]weighted, len(p.Backends))
+	for i, b := range p.Backends {
+		h := fnv.New64a()
+		h.Write(fh)
+		var buf [16]byte
+		binary.BigEndian.PutUint64(buf[0:8], group)
+		binary.BigEndian.PutUint64(buf[8:16], uint64(b.ID))
+		h.Write(buf[:])
+		ws[i] = weighted{id: b.ID, w: h.Sum64()}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].w != ws[j].w {
+			return ws[i].w > ws[j].w
+		}
+		return ws[i].id < ws[j].id
+	})
+	out := make([]int, p.Replicas)
+	for i := range out {
+		out[i] = ws[i].id
+	}
+	return out
+}
+
+// Covers reports whether backend id is in the replica set for the
+// given block of fh.
+func (p *Placement) Covers(fh []byte, block uint64, id int) bool {
+	for _, r := range p.ReplicasFor(fh, block) {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+func backends(n int) []BackendInfo {
+	bs := make([]BackendInfo, n)
+	for i := range bs {
+		bs[i] = BackendInfo{ID: i, Addr: fmt.Sprintf("b%d:30049", i)}
+	}
+	return bs
+}
+
+func TestDefaultsAndValidation(t *testing.T) {
+	p, err := New(backends(5), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replicas != 3 || p.Quorum != 2 || p.GroupBlocks != 64 {
+		t.Fatalf("defaults: %+v", p)
+	}
+	if p, err = New(backends(2), 0, 0); err != nil || p.Replicas != 2 || p.Quorum != 2 {
+		t.Fatalf("small-pool defaults: %+v %v", p, err)
+	}
+
+	bad := []struct {
+		n, k, q int
+	}{
+		{0, 0, 0}, // no backends
+		{3, 4, 0}, // k > n
+		{3, 2, 3}, // quorum > k
+	}
+	for _, c := range bad {
+		if _, err := New(backends(c.n), c.k, c.q); err == nil {
+			t.Errorf("New(%d backends, k=%d, q=%d) accepted", c.n, c.k, c.q)
+		}
+	}
+	dup := []BackendInfo{{ID: 1}, {ID: 1}}
+	if _, err := New(dup, 0, 0); err == nil {
+		t.Error("duplicate backend IDs accepted")
+	}
+}
+
+func TestReplicasForDeterministicAndGrouped(t *testing.T) {
+	p, err := New(backends(5), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := []byte("canonical-file-handle")
+
+	// Same (fh, block) always yields the same ordered set, and every
+	// block of a group shares it.
+	want := p.ReplicasFor(fh, 0)
+	if len(want) != 3 {
+		t.Fatalf("replica set size %d", len(want))
+	}
+	for b := uint64(0); b < p.GroupBlocks; b++ {
+		got := p.ReplicasFor(fh, b)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("block %d replica set %v != group set %v", b, got, want)
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for _, id := range want {
+		if seen[id] {
+			t.Fatalf("duplicate backend in replica set %v", want)
+		}
+		seen[id] = true
+		if !p.Covers(fh, 0, id) {
+			t.Fatalf("Covers disagrees with ReplicasFor for %d", id)
+		}
+	}
+	if p.Covers(fh, 0, 99) {
+		t.Fatal("Covers reports an unknown backend")
+	}
+
+	// Different groups move (FNV mixing): across many groups every
+	// backend should lead at least once.
+	primaries := map[int]bool{}
+	for g := uint64(0); g < 64; g++ {
+		primaries[p.ReplicasFor(fh, g*p.GroupBlocks)[0]] = true
+	}
+	if len(primaries) != 5 {
+		t.Fatalf("only %d of 5 backends ever primary across 64 groups", len(primaries))
+	}
+}
+
+// TestStabilityUnderPoolGrowth pins the rendezvous property: adding a
+// backend reshuffles only groups the new backend now wins, never
+// reordering survivors among themselves.
+func TestStabilityUnderPoolGrowth(t *testing.T) {
+	old, err := New(backends(4), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := New(backends(5), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := []byte("stable-under-growth")
+	moved := 0
+	for g := uint64(0); g < 256; g++ {
+		block := g * old.GroupBlocks
+		before, after := old.ReplicasFor(fh, block), grown.ReplicasFor(fh, block)
+		same := before[0] == after[0] && before[1] == after[1]
+		if !same {
+			moved++
+			// Any change must involve the new backend; survivors never
+			// swap places among themselves.
+			if after[0] != 4 && after[1] != 4 {
+				t.Fatalf("group %d reshuffled without backend 4: %v -> %v", g, before, after)
+			}
+		}
+	}
+	// Expected churn is ~ 2/5 of groups (k slots of n+1 pool); anything
+	// beyond 3/5 means the hash is not behaving like rendezvous.
+	if moved > 256*3/5 {
+		t.Fatalf("%d of 256 groups moved on pool growth", moved)
+	}
+}

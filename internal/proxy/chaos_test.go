@@ -239,6 +239,109 @@ func TestRecoveryDisabledSessionDies(t *testing.T) {
 	}
 }
 
+// TestChaosAlternatingBackendCutsFlushAll: two backends, replicas 2 /
+// quorum 1, and a link cut that alternates between them across three
+// write+flush generations. Every FlushAll that returns nil is an ack to
+// the application; once both links heal and background repair drains,
+// both backends must hold every acked generation byte-identical — zero
+// acked-write loss no matter which side of the pair was dark when the
+// ack happened.
+func TestChaosAlternatingBackendCutsFlushAll(t *testing.T) {
+	t.Parallel()
+	dc := newDiskCache(t)
+	st := buildReplStack(t, replOpts{
+		n: 2, replicas: 2, quorum: 1,
+		diskCache:  dc,
+		recovery:   fastRecovery(),
+		ejectAfter: 1,
+		probe:      20 * time.Millisecond,
+	})
+	fs := st.mount(t, nfsclient.Options{})
+	ctx := context.Background()
+
+	const fileSize = 64 * 1024
+	write := func(gen int) {
+		t.Helper()
+		f, err := fs.Create(ctx, fmt.Sprintf("gen-%d.dat", gen), 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(ctx, chaosPayload(gen, fileSize), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// ejectDark drives namespace traffic (which fans to every backend
+	// still marked healthy) until the dark backend's failures are
+	// observed and it is ejected.
+	junk := 0
+	ejectDark := func(b int) {
+		t.Helper()
+		waitFor(t, 10*time.Second, fmt.Sprintf("backend %d ejection", b), func() bool {
+			junk++
+			if f, err := fs.Create(ctx, fmt.Sprintf("junk-%d", junk), 0644); err == nil {
+				f.Close(ctx)
+			}
+			return st.stats.Backend(b).Ejections.Load() > 0
+		})
+	}
+
+	// Generation 1: backend 0 goes dark mid-life; the flush must still
+	// ack through backend 1.
+	write(1)
+	st.cutBackend(0)
+	if err := st.cp.FlushAll(ctx); err != nil {
+		t.Fatalf("FlushAll with backend 0 dark: %v", err)
+	}
+	ejectDark(0)
+
+	// Generation 2: the cut alternates — 0 heals, 1 goes dark.
+	st.healBackend(0)
+	st.cutBackend(1)
+	write(2)
+	if err := st.cp.FlushAll(ctx); err != nil {
+		t.Fatalf("FlushAll with backend 1 dark: %v", err)
+	}
+	ejectDark(1)
+
+	// Generation 3: both links up (backend 1 may still be ejected until
+	// a probe lands); the flush acks through whichever is healthy.
+	st.healBackend(1)
+	write(3)
+	if err := st.cp.FlushAll(ctx); err != nil {
+		t.Fatalf("FlushAll after healing: %v", err)
+	}
+
+	// Zero acked-write loss: every generation converges byte-identical
+	// on BOTH backends once reintegration and repair drain.
+	for b := range st.backends {
+		for gen := 1; gen <= 3; gen++ {
+			b, gen := b, gen
+			name := fmt.Sprintf("gen-%d.dat", gen)
+			waitFor(t, 15*time.Second,
+				fmt.Sprintf("backend %d to hold %s", b, name), func() bool {
+					got, err := backendFile(st.backends[b], name)
+					return err == nil && bytes.Equal(got, chaosPayload(gen, fileSize))
+				})
+		}
+	}
+
+	// Both sides were ejected at some point, and the convergence above
+	// came from the repair queue, not luck.
+	if e0, e1 := st.stats.Backend(0).Ejections.Load(), st.stats.Backend(1).Ejections.Load(); e0 == 0 || e1 == 0 {
+		t.Fatalf("expected ejections on both backends, got %d / %d", e0, e1)
+	}
+	if st.stats.RepairsQueued.Load() == 0 || st.stats.RepairedBlocks.Load() == 0 {
+		t.Fatalf("repair not exercised: %+v", st.stats.Snapshot())
+	}
+	if st.stats.QuorumWrites.Load() == 0 {
+		t.Fatalf("no quorum writes counted: %+v", st.stats.Snapshot())
+	}
+}
+
 // TestChannelStatsUnconfigured: without recovery, ChannelStats reports
 // absence rather than zeros.
 func TestChannelStatsUnconfigured(t *testing.T) {

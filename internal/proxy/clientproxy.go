@@ -97,6 +97,14 @@ type ClientConfig struct {
 	// detected sequential read stream (default 4; negative disables).
 	// Only meaningful with DiskCache set.
 	Readahead int
+	// Replication, when non-nil, replaces the single upstream with a
+	// replicated multi-backend namespace: block writes fan out to a
+	// placement-chosen replica set and are acknowledged at quorum,
+	// reads are hedged across replicas, and failed backends are
+	// ejected and probed back in. ServerDial/Channel are ignored in
+	// favor of the per-backend dialers (each backend dials through
+	// sessionVia, so Channel still applies per backend).
+	Replication *ReplicationConfig
 }
 
 // upstream is the client proxy's channel to the server-side proxy:
@@ -113,6 +121,7 @@ type ClientProxy struct {
 	rpc *oncrpc.Server
 	up  upstream
 	rec *oncrpc.ReconnectClient // == up when cfg.Recovery != nil
+	rs  *replicaSet             // == up when cfg.Replication != nil
 
 	// Pipelined data path: the single-flight group dedups concurrent
 	// upstream READs of one block, the pool bounds background
@@ -153,6 +162,23 @@ func NewClientProxy(cfg ClientConfig) (*ClientProxy, error) {
 	// (bad export, refused credential) fails here, not on first use.
 	ctx, cancel := context.WithTimeout(context.Background(), initTimeout)
 	defer cancel()
+	if cfg.Replication != nil {
+		rs, err := newReplicaSet(ctx, p, cfg.Replication)
+		if err != nil {
+			return nil, err
+		}
+		p.rs = rs
+		p.up = rs
+		// The canonical root is synthetic: it exists before any backend
+		// session does, and it never changes across reconnects.
+		p.root = rs.Root()
+		p.haveRoot = true
+		if cfg.DiskCache != nil && p.cfg.readahead() > 0 {
+			p.prefetch = singleflight.NewPool(p.cfg.readahead())
+		}
+		p.register()
+		return p, nil
+	}
 	first, err := p.dialSession(ctx)
 	if err != nil {
 		return nil, err
@@ -164,6 +190,7 @@ func NewClientProxy(cfg ClientConfig) (*ClientProxy, error) {
 			MaxDelay:       r.MaxDelay,
 			AttemptTimeout: r.attemptTimeout(),
 			Idempotent:     nfs3Idempotent,
+			ProcName:       nfs3.ProcName,
 			Stats:          r.Stats,
 		})
 		p.up = p.rec
@@ -177,32 +204,13 @@ func NewClientProxy(cfg ClientConfig) (*ClientProxy, error) {
 	return p, nil
 }
 
-// dialSession establishes one complete upstream session: transport
-// dial, optional secure-channel handshake, and MOUNT re-establishment
-// through a dedicated short-lived channel (the NFS and MOUNT programs
-// of the server proxy share one transport; MOUNT needs its own RPC
-// client for the program binding). It is the reconnect layer's session
-// factory, so everything here is re-runnable.
+// dialSession establishes one complete upstream session against the
+// single configured server and records the session state (root
+// stability across reconnects, current transport). It is the reconnect
+// layer's session factory, so everything here is re-runnable.
 func (p *ClientProxy) dialSession(ctx context.Context) (*oncrpc.Client, error) {
-	raw, err := p.cfg.ServerDial()
+	cl, root, conn, err := p.sessionVia(ctx, p.cfg.ServerDial)
 	if err != nil {
-		return nil, fmt.Errorf("proxy: dial server proxy: %w", err)
-	}
-	var conn net.Conn = raw
-	if p.cfg.Channel != nil {
-		sc, err := securechan.Client(raw, p.cfg.Channel)
-		if err != nil {
-			raw.Close()
-			return nil, fmt.Errorf("proxy: secure channel: %w", err)
-		}
-		if p.cfg.RekeyInterval > 0 {
-			sc.StartAutoRekey(p.cfg.RekeyInterval)
-		}
-		conn = sc
-	}
-	root, err := p.mountViaServer(ctx)
-	if err != nil {
-		conn.Close()
 		return nil, err
 	}
 	p.mu.Lock()
@@ -210,20 +218,52 @@ func (p *ClientProxy) dialSession(ctx context.Context) (*oncrpc.Client, error) {
 		// The server proxy handed out a different export root across a
 		// reconnect: cached handles would dangle, so refuse the session.
 		p.mu.Unlock()
-		conn.Close()
+		cl.Close()
 		return nil, errors.New("proxy: export root changed across reconnect")
 	}
 	p.root = root
 	p.haveRoot = true
 	p.conn = conn
 	p.mu.Unlock()
-	return oncrpc.NewClient(conn, nfs3.Program, nfs3.Version), nil
+	return cl, nil
 }
 
-// mountViaServer issues MOUNT through its own connection and returns
-// the export root handle.
-func (p *ClientProxy) mountViaServer(ctx context.Context) (nfs3.FH3, error) {
-	mraw, err := p.cfg.ServerDial()
+// sessionVia establishes one complete upstream session through dial:
+// transport dial, optional secure-channel handshake, and MOUNT
+// re-establishment through a dedicated short-lived channel (the NFS
+// and MOUNT programs of the server proxy share one transport; MOUNT
+// needs its own RPC client for the program binding). It records no
+// proxy state, so both the single-server path and every replica
+// backend use it as their session factory.
+func (p *ClientProxy) sessionVia(ctx context.Context, dial Dialer) (*oncrpc.Client, nfs3.FH3, net.Conn, error) {
+	raw, err := dial()
+	if err != nil {
+		return nil, nfs3.FH3{}, nil, fmt.Errorf("proxy: dial server proxy: %w", err)
+	}
+	var conn net.Conn = raw
+	if p.cfg.Channel != nil {
+		sc, err := securechan.Client(raw, p.cfg.Channel)
+		if err != nil {
+			raw.Close()
+			return nil, nfs3.FH3{}, nil, fmt.Errorf("proxy: secure channel: %w", err)
+		}
+		if p.cfg.RekeyInterval > 0 {
+			sc.StartAutoRekey(p.cfg.RekeyInterval)
+		}
+		conn = sc
+	}
+	root, err := p.mountVia(ctx, dial)
+	if err != nil {
+		conn.Close()
+		return nil, nfs3.FH3{}, nil, err
+	}
+	return oncrpc.NewClient(conn, nfs3.Program, nfs3.Version), root, conn, nil
+}
+
+// mountVia issues MOUNT through its own connection via dial and
+// returns the export root handle.
+func (p *ClientProxy) mountVia(ctx context.Context, dial Dialer) (nfs3.FH3, error) {
+	mraw, err := dial()
 	if err != nil {
 		return nfs3.FH3{}, err
 	}
@@ -290,9 +330,13 @@ func nfs3Idempotent(proc uint32) bool {
 }
 
 // degraded reports whether the proxy is in disconnected operation:
-// recovery is enabled but the channel is currently down. Cached reads
-// keep being served; see the read/getattr handlers.
+// recovery is enabled but the channel is currently down, or — with
+// replication — fewer than a write quorum of backends is healthy.
+// Cached reads keep being served; see the read/getattr handlers.
 func (p *ClientProxy) degraded() bool {
+	if p.rs != nil {
+		return !p.rs.writable()
+	}
 	return p.rec != nil && !p.rec.Connected()
 }
 
@@ -342,6 +386,15 @@ func (p *ClientProxy) ChannelStats() (metrics.ChannelSnapshot, bool) {
 		return r.Stats.Snapshot(), true
 	}
 	return metrics.ChannelSnapshot{}, false
+}
+
+// ReplicaStats returns the replication counters, when replication is
+// enabled.
+func (p *ClientProxy) ReplicaStats() (metrics.ReplicaSnapshot, bool) {
+	if p.rs == nil {
+		return metrics.ReplicaSnapshot{}, false
+	}
+	return p.rs.stats.Snapshot(), true
 }
 
 // CacheStats returns disk cache statistics, when caching is enabled.

@@ -1,0 +1,719 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/mountd"
+	"repro/internal/netem"
+	"repro/internal/nfs3"
+	"repro/internal/nfsclient"
+	"repro/internal/oncrpc"
+	"repro/internal/vfs"
+)
+
+// replStack is a replicated SGFS deployment: n independent
+// MemFS-backed NFS servers, each behind its own server proxy, and one
+// client proxy fanning out across them. Everything runs in gfs (plain)
+// mode: replication semantics are orthogonal to channel security,
+// which TestSecureEndToEnd already covers.
+type replStack struct {
+	backends []*vfs.MemFS
+	faulters []*netem.Faulter
+	stats    *metrics.ReplicaStats
+	cp       *ClientProxy
+
+	clientAddr string
+}
+
+type replOpts struct {
+	n        int
+	replicas int
+	quorum   int
+
+	diskCache    *cache.DiskCache
+	recovery     *RecoveryConfig
+	hedgeDelay   time.Duration
+	ejectAfter   int
+	probe        time.Duration
+	readahead    int
+	flushWorkers int
+	rtts         []time.Duration // per-backend emulated link delay
+}
+
+func buildReplStack(t testing.TB, opts replOpts) *replStack {
+	t.Helper()
+	if opts.n == 0 {
+		opts.n = 3
+	}
+	st := &replStack{stats: metrics.NewReplicaStats(opts.n)}
+	defs := make([]ReplicaBackendDef, opts.n)
+	for i := 0; i < opts.n; i++ {
+		backend := vfs.NewMemFS()
+		st.backends = append(st.backends, backend)
+
+		rpc := oncrpc.NewServer()
+		nfs3.NewServer(backend, uint64(i+1)).Register(rpc)
+		md := mountd.NewServer()
+		md.AddExport(&mountd.Export{Path: "/GFS/alice", FS: backend})
+		md.Register(rpc)
+		nfsL, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go rpc.Serve(nfsL)
+		t.Cleanup(rpc.Close)
+		nfsAddr := nfsL.Addr().String()
+
+		sp, err := NewServerProxy(ServerConfig{
+			UpstreamDial: func() (net.Conn, error) { return net.Dial("tcp", nfsAddr) },
+			ExportPath:   "/GFS/alice",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spL, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go sp.Serve(spL)
+		t.Cleanup(sp.Close)
+		spAddr := spL.Addr().String()
+
+		dial := func() (net.Conn, error) { return net.Dial("tcp", spAddr) }
+		if opts.rtts != nil && opts.rtts[i] > 0 {
+			dial = netem.Dialer(dial, netem.Config{RTT: opts.rtts[i]})
+		}
+		faulter := netem.NewFaulter()
+		st.faulters = append(st.faulters, faulter)
+		defs[i] = ReplicaBackendDef{Addr: spAddr, Dial: faulter.Dialer(dial)}
+	}
+
+	cp, err := NewClientProxy(ClientConfig{
+		ExportPath:   "/GFS/alice",
+		DiskCache:    opts.diskCache,
+		Recovery:     opts.recovery,
+		FlushWorkers: opts.flushWorkers,
+		Readahead:    opts.readahead,
+		Replication: &ReplicationConfig{
+			Backends:      defs,
+			Replicas:      opts.replicas,
+			Quorum:        opts.quorum,
+			HedgeDelay:    opts.hedgeDelay,
+			EjectAfter:    opts.ejectAfter,
+			ProbeInterval: opts.probe,
+			Stats:         st.stats,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.cp = cp
+	cpL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go cp.Serve(cpL)
+	t.Cleanup(func() { cp.Close() })
+	st.clientAddr = cpL.Addr().String()
+	return st
+}
+
+func (st *replStack) mount(t testing.TB, opt nfsclient.Options) *nfsclient.FileSystem {
+	t.Helper()
+	dial := func() (net.Conn, error) { return net.Dial("tcp", st.clientAddr) }
+	fs, err := nfsclient.Mount(context.Background(), dial, "/GFS/alice", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+// backendFile reads path (one level deep allowed via "/") from a
+// backend MemFS directly.
+func backendFile(fs *vfs.MemFS, name string) ([]byte, error) {
+	h, attr, err := fs.Lookup(fs.Root(), name)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, attr.Size)
+	n, _, err := fs.Read(h, 0, buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// cutBackend severs a backend's live connections and keeps its link
+// down until healed.
+func (st *replStack) cutBackend(i int) {
+	st.faulters[i].FailNextDials(1 << 30)
+	st.faulters[i].CutAll(netem.FaultReset)
+}
+
+func (st *replStack) healBackend(i int) {
+	st.faulters[i].FailNextDials(0)
+}
+
+func fastRecovery() *RecoveryConfig {
+	return &RecoveryConfig{
+		MaxAttempts:    3,
+		BaseDelay:      2 * time.Millisecond,
+		MaxDelay:       20 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		OpTimeout:      20 * time.Second,
+	}
+}
+
+// TestReplicaCanonNS pins the canonical namespace invariants the
+// replica layer depends on: determinism across backends, structural
+// "." / "..", rename rebinding identity preservation.
+func TestReplicaCanonNS(t *testing.T) {
+	t.Parallel()
+	ns := newCanonNS()
+	a := newCanonNS()
+	dir := ns.child(ns.root, "dir")
+	if got := a.child(a.root, "dir"); !bytes.Equal(got.Data, dir.Data) {
+		t.Fatal("canonical handles differ across independent namespaces")
+	}
+	file := ns.child(dir, "file")
+	if bytes.Equal(file.Data, dir.Data) {
+		t.Fatal("child handle equals parent handle")
+	}
+	if got := ns.child(dir, "."); !bytes.Equal(got.Data, dir.Data) {
+		t.Fatal("dot does not resolve to the directory itself")
+	}
+	if got := ns.child(dir, ".."); !bytes.Equal(got.Data, ns.root.Data) {
+		t.Fatal("dotdot of a first-level dir does not resolve to root")
+	}
+	if got := ns.child(ns.root, ".."); !bytes.Equal(got.Data, ns.root.Data) {
+		t.Fatal("dotdot of root is not root")
+	}
+	if fileidOf(file) == 0 || fileidOf(file) == fileidOf(dir) {
+		t.Fatal("fileids not distinct and stable")
+	}
+
+	// Rename: the canonical handle survives, resolving via the new
+	// path.
+	dir2 := ns.child(ns.root, "dir2")
+	ns.rebind(string(file.Data), dir2, "renamed")
+	e, ok := ns.entry(string(file.Data))
+	if !ok || e.name != "renamed" || e.parent != string(dir2.Data) {
+		t.Fatalf("rebind lost the entry: %+v %v", e, ok)
+	}
+	ns.forget(string(file.Data))
+	if _, ok := ns.entry(string(file.Data)); ok {
+		t.Fatal("forget left the entry behind")
+	}
+}
+
+// TestReplicatedEndToEnd drives a full workload through a 3-backend
+// quorum-2 deployment and verifies every backend converges to
+// identical namespace and data.
+func TestReplicatedEndToEnd(t *testing.T) {
+	t.Parallel()
+	dc := newDiskCache(t)
+	st := buildReplStack(t, replOpts{n: 3, quorum: 2, diskCache: dc, recovery: fastRecovery()})
+	fs := st.mount(t, nfsclient.Options{})
+	ctx := context.Background()
+
+	payload := chaosPayload(7, 100*1024)
+	f, err := fs.Create(ctx, "dataset", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.cp.FlushAll(ctx); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+
+	// All three backends must converge to the same bytes (quorum acks
+	// plus stragglers completing on their detached deadlines).
+	for i := range st.backends {
+		i := i
+		waitFor(t, 10*time.Second, fmt.Sprintf("backend %d to converge", i), func() bool {
+			got, err := backendFile(st.backends[i], "dataset")
+			return err == nil && bytes.Equal(got, payload)
+		})
+	}
+
+	// Read back through the mount.
+	g, err := fs.Open(ctx, "dataset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := g.ReadAt(ctx, buf, 0); err != nil && err.Error() != "EOF" {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("read-back corrupted")
+	}
+
+	// Namespace surface: mkdir, rename, symlink, remove — all quorum
+	// fan-outs — and the canonical handles must stay coherent.
+	if err := fs.Mkdir(ctx, "d1", 0755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "dataset", "d1/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ctx, "d1/moved"); err != nil {
+		t.Fatalf("stat after rename: %v", err)
+	}
+	if err := fs.Symlink(ctx, "d1/moved", "ln"); err != nil {
+		t.Fatal(err)
+	}
+	if tgt, err := fs.ReadLink(ctx, "ln"); err != nil || tgt != "d1/moved" {
+		t.Fatalf("readlink: %q %v", tgt, err)
+	}
+	if err := fs.Remove(ctx, "ln"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name == "dataset" || e.Name == "ln" {
+			t.Fatalf("stale entry %q after rename/remove", e.Name)
+		}
+	}
+	// The rename must be visible on every backend (it fans to all).
+	for i, be := range st.backends {
+		if _, _, err := be.Lookup(be.Root(), "dataset"); err == nil {
+			t.Fatalf("backend %d still has pre-rename name", i)
+		}
+	}
+	if st.stats.QuorumWrites.Load() == 0 {
+		t.Fatal("no quorum writes counted")
+	}
+	if got, ok := st.cp.ReplicaStats(); !ok || len(got.Backends) != 3 {
+		t.Fatalf("ReplicaStats: %+v %v", got, ok)
+	}
+}
+
+// TestReplicatedHedgedReads: with one backend on a slow emulated link
+// and an aggressive hedge delay, reads must fire hedges and fast
+// replicas must win them.
+func TestReplicatedHedgedReads(t *testing.T) {
+	t.Parallel()
+	st := buildReplStack(t, replOpts{
+		n: 3, quorum: 2,
+		recovery:   fastRecovery(),
+		hedgeDelay: 3 * time.Millisecond,
+		rtts:       []time.Duration{0, 0, 60 * time.Millisecond},
+	})
+	fs := st.mount(t, nfsclient.Options{CacheBytes: 1})
+	ctx := context.Background()
+
+	// Many small files: placement rotates the primary, so the slow
+	// backend leads some replica sets and hedges fire there.
+	for i := 0; i < 12; i++ {
+		f, err := fs.Create(ctx, fmt.Sprintf("h-%d", i), 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(ctx, chaosPayload(i, 8*1024), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 12; i++ {
+			fh, _, err := fs.Proto().Lookup(ctx, fs.Root(), fmt.Sprintf("h-%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _, err := fs.Proto().Read(ctx, fh, 0, 8*1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, chaosPayload(i, 8*1024)) {
+				t.Fatalf("h-%d corrupted", i)
+			}
+		}
+	}
+	if st.stats.HedgedReads.Load() == 0 {
+		t.Fatalf("no hedged reads with a 60ms-slow replica: %+v", st.stats.Snapshot())
+	}
+	if st.stats.HedgeWins.Load() == 0 {
+		t.Fatalf("no hedge wins: %+v", st.stats.Snapshot())
+	}
+}
+
+// TestChaosReplicatedBackendKillMidFlush is the tentpole acceptance
+// scenario: 3 backends, quorum 2, and each backend in turn is killed
+// in the middle of a parallel FlushAll. The flush must succeed with
+// zero errors surfaced (quorum holds on the two survivors), the
+// survivors must hold every acked byte, and after the dead backend
+// heals, ejection/probe/reintegration plus background repair must
+// converge it to the same bytes.
+func TestChaosReplicatedBackendKillMidFlush(t *testing.T) {
+	for victim := 0; victim < 3; victim++ {
+		victim := victim
+		t.Run(fmt.Sprintf("victim-%d", victim), func(t *testing.T) {
+			t.Parallel()
+			dc := newDiskCache(t)
+			st := buildReplStack(t, replOpts{
+				n: 3, quorum: 2,
+				diskCache:  dc,
+				recovery:   fastRecovery(),
+				ejectAfter: 2,
+				probe:      20 * time.Millisecond,
+				// A little emulated WAN delay stretches the flush so the
+				// cut lands while WRITE fan-outs are in flight.
+				rtts: []time.Duration{2 * time.Millisecond, 2 * time.Millisecond, 2 * time.Millisecond},
+			})
+			fs := st.mount(t, nfsclient.Options{})
+			ctx := context.Background()
+
+			const nFiles = 6
+			const fileSize = 128 * 1024
+			for i := 0; i < nFiles; i++ {
+				f, err := fs.Create(ctx, fmt.Sprintf("c-%d", i), 0644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteAt(ctx, chaosPayload(i, fileSize), 0); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Close(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Kill the victim mid-flush.
+			flushErr := make(chan error, 1)
+			go func() { flushErr <- st.cp.FlushAll(ctx) }()
+			time.Sleep(10 * time.Millisecond)
+			st.cutBackend(victim)
+
+			// No error surfaces while quorum holds.
+			if err := <-flushErr; err != nil {
+				t.Fatalf("FlushAll with one backend killed: %v", err)
+			}
+
+			// Every acked byte is on both survivors.
+			for i := 0; i < nFiles; i++ {
+				name := fmt.Sprintf("c-%d", i)
+				want := chaosPayload(i, fileSize)
+				for b := 0; b < 3; b++ {
+					if b == victim {
+						continue
+					}
+					b := b
+					waitFor(t, 15*time.Second, fmt.Sprintf("%s on backend %d", name, b), func() bool {
+						got, err := backendFile(st.backends[b], name)
+						return err == nil && bytes.Equal(got, want)
+					})
+				}
+			}
+
+			// Reads still work with the victim down (failover path), and
+			// read traffic observes the failures until ejection trips.
+			vb := st.stats.Backend(victim)
+			waitFor(t, 15*time.Second, "victim ejection", func() bool {
+				for i := 0; i < nFiles; i++ {
+					fh, _, err := fs.Proto().Lookup(ctx, fs.Root(), fmt.Sprintf("c-%d", i))
+					if err != nil {
+						t.Fatalf("lookup with backend down: %v", err)
+					}
+					if _, _, err := fs.Proto().Read(ctx, fh, 0, 32*1024); err != nil {
+						t.Fatalf("read with backend down: %v", err)
+					}
+				}
+				return vb.Ejections.Load() > 0
+			})
+
+			// While the victim stays dark, the probe loop must keep
+			// knocking (failed probes still count).
+			waitFor(t, 15*time.Second, "probes against dead victim", func() bool {
+				return vb.Probes.Load() > 0
+			})
+
+			// The victim heals: probes (or resumed traffic) reintegrate
+			// it, and repair converges its data.
+			st.healBackend(victim)
+			waitFor(t, 15*time.Second, "victim reintegration", func() bool {
+				return metrics.BackendHealth(vb.Health.Load()) == metrics.BackendHealthy
+			})
+			if vb.Reintegrations.Load() == 0 {
+				t.Fatal("reintegration not recorded")
+			}
+			for i := 0; i < nFiles; i++ {
+				name := fmt.Sprintf("c-%d", i)
+				want := chaosPayload(i, fileSize)
+				waitFor(t, 20*time.Second, fmt.Sprintf("repair of %s on victim", name), func() bool {
+					got, err := backendFile(st.backends[victim], name)
+					return err == nil && bytes.Equal(got, want)
+				})
+			}
+			if st.stats.RepairsQueued.Load() == 0 || st.stats.RepairedBlocks.Load() == 0 {
+				t.Fatalf("repair not counted: %+v", st.stats.Snapshot())
+			}
+		})
+	}
+}
+
+// TestChaosReplicatedQuorumLossDegradesReadOnly: when two of three
+// backends die, the mount must not fail — reads keep being served from
+// the disk cache and the survivor, writes are absorbed by the
+// write-back cache (staying dirty), and the proxy reports degraded
+// operation until quorum returns.
+func TestChaosReplicatedQuorumLossDegradesReadOnly(t *testing.T) {
+	t.Parallel()
+	dc := newDiskCache(t)
+	st := buildReplStack(t, replOpts{
+		n: 3, quorum: 2,
+		diskCache:  dc,
+		recovery:   fastRecovery(),
+		ejectAfter: 1,
+		probe:      20 * time.Millisecond,
+	})
+	fs := st.mount(t, nfsclient.Options{CacheBytes: 1})
+	ctx := context.Background()
+
+	payload := chaosPayload(3, 64*1024)
+	f, err := fs.Create(ctx, "survivor.dat", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.cp.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fh, _, err := fs.Proto().Lookup(ctx, fs.Root(), "survivor.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the block cache so degraded reads have a local copy.
+	if _, _, err := fs.Proto().Read(ctx, fh, 0, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill two backends: quorum (2) is lost. Namespace fan-outs observe
+	// the dead links and trip ejection; the mount must survive.
+	st.cutBackend(1)
+	st.cutBackend(2)
+	junk := 0
+	waitFor(t, 15*time.Second, "degraded mode after quorum loss", func() bool {
+		// Mutations may fail once quorum is gone — that is the point —
+		// but they must fail as clean errors, not hangs.
+		f, err := fs.Create(ctx, fmt.Sprintf("junk-%d", junk), 0644)
+		if err == nil {
+			f.Close(ctx)
+		}
+		junk++
+		return st.cp.degraded()
+	})
+	if st.stats.QuorumLost.Load() == 0 {
+		t.Fatalf("quorum loss not counted: %+v", st.stats.Snapshot())
+	}
+
+	// Reads still answer (cache + surviving replica), with no error to
+	// the VFS layer.
+	if _, err := fs.Proto().GetAttr(ctx, fh); err != nil {
+		t.Fatalf("GETATTR degraded: %v", err)
+	}
+	data, _, err := fs.Proto().Read(ctx, fh, 0, 32*1024)
+	if err != nil {
+		t.Fatalf("READ degraded: %v", err)
+	}
+	if !bytes.Equal(data, payload[:32*1024]) {
+		t.Fatal("degraded read corrupted")
+	}
+
+	// Writes to existing files are absorbed by the write-back cache
+	// (read-only toward the backends, not toward the application); they
+	// stay dirty until quorum returns.
+	rev := chaosPayload(8, 64*1024)
+	g, err := fs.Open(ctx, "survivor.dat")
+	if err != nil {
+		t.Fatalf("open while degraded: %v", err)
+	}
+	if _, err := g.WriteAt(ctx, rev, 0); err != nil {
+		t.Fatalf("write while degraded: %v", err)
+	}
+	if err := g.Close(ctx); err != nil {
+		t.Fatalf("close while degraded: %v", err)
+	}
+
+	// Quorum returns: degradation ends and the held-back data flushes.
+	st.healBackend(1)
+	st.healBackend(2)
+	waitFor(t, 15*time.Second, "quorum recovery", func() bool { return !st.cp.degraded() })
+	if err := st.cp.FlushAll(ctx); err != nil {
+		t.Fatalf("FlushAll after recovery: %v", err)
+	}
+	converged := 0
+	for i := range st.backends {
+		if got, err := backendFile(st.backends[i], "survivor.dat"); err == nil && bytes.Equal(got, rev) {
+			converged++
+		}
+	}
+	if converged < 2 {
+		t.Fatalf("degraded-period write reached %d backends after recovery, want >= quorum", converged)
+	}
+}
+
+// TestChaosReplicatedKillMidReadahead cuts a backend in the middle of
+// a sequential readahead stream: the stream must complete
+// byte-identical via failover, with no error surfaced.
+func TestChaosReplicatedKillMidReadahead(t *testing.T) {
+	t.Parallel()
+	dc := newDiskCache(t)
+	st := buildReplStack(t, replOpts{
+		n: 3, quorum: 2,
+		diskCache:  dc,
+		recovery:   fastRecovery(),
+		ejectAfter: 2,
+		probe:      20 * time.Millisecond,
+		readahead:  4,
+	})
+	// Plant the dataset on every backend directly (pre-replicated
+	// state), so the read path is exercised without a flush first.
+	const fileSize = 512 * 1024
+	payload := chaosPayload(9, fileSize)
+	for _, be := range st.backends {
+		h, _, err := be.Create(be.Root(), "stream.dat", vfs.SetAttr{}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := be.Write(h, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := st.mount(t, nfsclient.Options{CacheBytes: 1})
+	ctx := context.Background()
+	fh, _, err := fs.Proto().Lookup(ctx, fs.Root(), "stream.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 0, fileSize)
+	cutAt := fileSize / 2
+	cut := false
+	for len(got) < fileSize {
+		if !cut && len(got) >= cutAt {
+			st.cutBackend(0)
+			cut = true
+		}
+		data, eof, err := fs.Proto().Read(ctx, fh, uint64(len(got)), 32*1024)
+		if err != nil {
+			t.Fatalf("read @%d mid-cut: %v", len(got), err)
+		}
+		got = append(got, data...)
+		if eof {
+			break
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("streamed data corrupted: %d bytes", len(got))
+	}
+	st.healBackend(0)
+}
+
+// TestChaosReplicatedKillDuringReintegration ejects a backend, lets it
+// heal, then cuts it again while probes and repair are converging it —
+// the second ejection must be as clean as the first and the cluster
+// must still converge once it finally stays up.
+func TestChaosReplicatedKillDuringReintegration(t *testing.T) {
+	t.Parallel()
+	dc := newDiskCache(t)
+	st := buildReplStack(t, replOpts{
+		n: 3, quorum: 2,
+		diskCache:  dc,
+		recovery:   fastRecovery(),
+		ejectAfter: 1,
+		probe:      10 * time.Millisecond,
+	})
+	fs := st.mount(t, nfsclient.Options{})
+	ctx := context.Background()
+
+	write := func(name string, seed int) {
+		f, err := fs.Create(ctx, name, 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(ctx, chaosPayload(seed, 64*1024), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.cp.FlushAll(ctx); err != nil {
+			t.Fatalf("FlushAll: %v", err)
+		}
+	}
+
+	write("gen-1.dat", 1)
+	st.cutBackend(2)
+	write("gen-2.dat", 2) // quorum of the two survivors
+	vb := st.stats.Backend(2)
+	waitFor(t, 10*time.Second, "first ejection", func() bool {
+		return metrics.BackendHealth(vb.Health.Load()) != metrics.BackendHealthy
+	})
+
+	// Heal, and cut again as soon as reintegration lands (repair may be
+	// mid-flight).
+	st.healBackend(2)
+	waitFor(t, 10*time.Second, "reintegration", func() bool {
+		return metrics.BackendHealth(vb.Health.Load()) == metrics.BackendHealthy
+	})
+	st.cutBackend(2)
+	write("gen-3.dat", 3)
+	waitFor(t, 10*time.Second, "second ejection", func() bool {
+		return metrics.BackendHealth(vb.Health.Load()) != metrics.BackendHealthy
+	})
+
+	// Final heal: everything converges.
+	st.healBackend(2)
+	waitFor(t, 10*time.Second, "final reintegration", func() bool {
+		return metrics.BackendHealth(vb.Health.Load()) == metrics.BackendHealthy
+	})
+	for _, name := range []string{"gen-1.dat", "gen-2.dat", "gen-3.dat"} {
+		seed := int(name[4] - '0')
+		want := chaosPayload(seed, 64*1024)
+		waitFor(t, 20*time.Second, "convergence of "+name, func() bool {
+			got, err := backendFile(st.backends[2], name)
+			return err == nil && bytes.Equal(got, want)
+		})
+	}
+	if vb.Ejections.Load() < 2 {
+		t.Fatalf("expected two ejections, saw %d", vb.Ejections.Load())
+	}
+	if vb.Reintegrations.Load() < 2 {
+		t.Fatalf("expected two reintegrations, saw %d", vb.Reintegrations.Load())
+	}
+}

@@ -5,16 +5,49 @@ import (
 	"crypto/x509"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"time"
 
 	"repro/internal/gridsec"
 	"repro/internal/soapmsg"
 )
 
+// Session-setup calls cross WANs to FSS/DSS endpoints that may be
+// partitioned, overloaded, or black-holed. Every exchange is bounded:
+// connection establishment, waiting for response headers, and the
+// whole request each get a deadline, so a stalled listener becomes an
+// error the scheduler can act on (roll back, try another node)
+// instead of a hang that wedges session creation.
+const (
+	dialTimeout    = 10 * time.Second
+	respTimeout    = 30 * time.Second
+	requestTimeout = 60 * time.Second
+)
+
+// newHTTPClient builds the deadlined client used for service calls;
+// the parameters are injectable so tests can shrink them.
+func newHTTPClient(dial, header, total time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: total,
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: dial}).DialContext,
+			TLSHandshakeTimeout:   dial,
+			ResponseHeaderTimeout: header,
+		},
+	}
+}
+
+var httpClient = newHTTPClient(dialTimeout, respTimeout, requestTimeout)
+
 // Call sends a signed SOAP request to a service endpoint and returns
 // the verified response body with the responder's DN. A FaultResponse
 // body is converted into an error.
 func Call(url, action string, req any, cred *gridsec.Credential, roots *x509.CertPool, out any) (responderDN string, err error) {
+	return call(httpClient, url, action, req, cred, roots, out)
+}
+
+func call(client *http.Client, url, action string, req any, cred *gridsec.Credential, roots *x509.CertPool, out any) (responderDN string, err error) {
 	body, err := soapmsg.MarshalBody(req)
 	if err != nil {
 		return "", err
@@ -23,7 +56,7 @@ func Call(url, action string, req any, cred *gridsec.Credential, roots *x509.Cer
 	if err != nil {
 		return "", err
 	}
-	resp, err := http.Post(url, "application/soap+xml", bytes.NewReader(env))
+	resp, err := client.Post(url, "application/soap+xml", bytes.NewReader(env))
 	if err != nil {
 		return "", fmt.Errorf("services: post %s: %w", url, err)
 	}

@@ -1,0 +1,91 @@
+package services
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/gridsec"
+)
+
+// TestCallStalledListenerTimesOut pins the session-setup deadline: a
+// listener that accepts connections but never answers must turn into
+// a bounded error, not a hung CreateSession.
+func TestCallStalledListenerTimesOut(t *testing.T) {
+	t.Parallel()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Read the request and then go silent: the black-hole
+			// failure mode the response-header timeout exists for.
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	ca, err := gridsec.NewCA("Stall Grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := ca.IssueUser("caller")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := newHTTPClient(time.Second, 100*time.Millisecond, 500*time.Millisecond)
+	start := time.Now()
+	_, err = call(client, "http://"+l.Addr().String()+"/fss", "CreateSession",
+		&CreateSessionRequest{Role: "client"}, cred, ca.Pool(), nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against a stalled listener succeeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("stalled call took %v; deadlines not applied", elapsed)
+	}
+}
+
+// TestCallRefusedDialFailsFast: a dead endpoint (nothing listening)
+// must fail within the dial deadline.
+func TestCallRefusedDialFailsFast(t *testing.T) {
+	t.Parallel()
+	// Grab an address and release it so the dial is refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ca, err := gridsec.NewCA("Dead Grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := ca.IssueUser("caller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := Call("http://"+addr+"/fss", "CreateSession",
+		&CreateSessionRequest{Role: "client"}, cred, ca.Pool(), nil); err == nil {
+		t.Fatal("call to dead endpoint succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > dialTimeout+5*time.Second {
+		t.Fatalf("dead-endpoint call took %v", elapsed)
+	}
+}

@@ -208,54 +208,92 @@ func (d *DSS) schedule(req *ScheduleSessionRequest, dn string) any {
 		return &FaultResponse{Reason: "DSS has no CA bundle configured"}
 	}
 
-	// 1. Server-side proxy via the server FSS, under the DSS's own
-	// host credential for the channel endpoint.
+	// Pair server FSS endpoints with upstream NFS addresses; the
+	// legacy single-server fields are the one-replica case.
+	replicated := len(req.ServerFSSs) > 0
+	fssList, upstreams := req.ServerFSSs, req.Upstreams
+	if !replicated {
+		fssList, upstreams = []string{req.ServerFSS}, []string{req.Upstream}
+	}
+	if len(upstreams) != len(fssList) {
+		return &FaultResponse{Reason: fmt.Sprintf(
+			"%d server FSS endpoints but %d upstreams; they must pair up",
+			len(fssList), len(upstreams))}
+	}
+
+	// 1. One server-side proxy per replica via its FSS, under the
+	// DSS's own host credential for the channel endpoint. Any failure
+	// rolls back every session already created — a half-provisioned
+	// replica set would silently run below its intended redundancy.
 	hostCertPEM, hostKeyPEM, err := credentialPEM(d.cfg.Credential)
 	if err != nil {
 		return &FaultResponse{Reason: err.Error()}
 	}
-	var srvRes CreateSessionResponse
-	if _, err := Call(req.ServerFSS, "CreateSession", &CreateSessionRequest{
-		Role:        "server",
-		Export:      req.Export,
-		Upstream:    req.Upstream,
-		Suite:       req.Suite,
-		CertPEM:     hostCertPEM,
-		KeyPEM:      hostKeyPEM,
-		CAPEM:       caPEM,
-		Gridmap:     gm,
-		Accounts:    accounts,
-		FineGrained: req.FineGrained,
-	}, d.cfg.Credential, d.cfg.Roots, &srvRes); err != nil {
-		return &FaultResponse{Reason: "server FSS: " + err.Error()}
+	var serverIDs, serverAddrs []string
+	rollback := func() {
+		for i, id := range serverIDs {
+			Call(fssList[i], "DestroySession", &DestroySessionRequest{ID: id},
+				d.cfg.Credential, d.cfg.Roots, nil)
+		}
+	}
+	for i, fss := range fssList {
+		var srvRes CreateSessionResponse
+		if _, err := Call(fss, "CreateSession", &CreateSessionRequest{
+			Role:        "server",
+			Export:      req.Export,
+			Upstream:    upstreams[i],
+			Suite:       req.Suite,
+			CertPEM:     hostCertPEM,
+			KeyPEM:      hostKeyPEM,
+			CAPEM:       caPEM,
+			Gridmap:     gm,
+			Accounts:    accounts,
+			FineGrained: req.FineGrained,
+		}, d.cfg.Credential, d.cfg.Roots, &srvRes); err != nil {
+			rollback()
+			return &FaultResponse{Reason: fmt.Sprintf("server FSS %s: %v", fss, err)}
+		}
+		serverIDs = append(serverIDs, srvRes.ID)
+		serverAddrs = append(serverAddrs, srvRes.Addr)
 	}
 
 	// 2. Client-side proxy via the client FSS, configured with the
 	// user's delegated proxy credential so the channel authenticates
 	// as the user.
-	var cliRes CreateSessionResponse
-	if _, err := Call(req.ClientFSS, "CreateSession", &CreateSessionRequest{
+	creq := &CreateSessionRequest{
 		Role:      "client",
 		Export:    req.Export,
-		Server:    srvRes.Addr,
 		Suite:     req.Suite,
 		CertPEM:   req.ProxyCertPEM,
 		KeyPEM:    req.ProxyKeyPEM,
 		CAPEM:     caPEM,
 		DiskCache: req.DiskCache,
-	}, d.cfg.Credential, d.cfg.Roots, &cliRes); err != nil {
-		// Roll back the server session.
-		Call(req.ServerFSS, "DestroySession", &DestroySessionRequest{ID: srvRes.ID},
-			d.cfg.Credential, d.cfg.Roots, nil)
+	}
+	if replicated {
+		creq.Servers = serverAddrs
+		creq.ReplicaCount = req.ReplicaCount
+		creq.Quorum = req.Quorum
+	} else {
+		creq.Server = serverAddrs[0]
+	}
+	var cliRes CreateSessionResponse
+	if _, err := Call(req.ClientFSS, "CreateSession", creq,
+		d.cfg.Credential, d.cfg.Roots, &cliRes); err != nil {
+		rollback()
 		return &FaultResponse{Reason: "client FSS: " + err.Error()}
 	}
 
-	return &ScheduleSessionResponse{
-		ServerID:   srvRes.ID,
+	res := &ScheduleSessionResponse{
+		ServerID:   serverIDs[0],
 		ClientID:   cliRes.ID,
 		MountAddr:  cliRes.Addr,
-		ServerAddr: srvRes.Addr,
+		ServerAddr: serverAddrs[0],
 	}
+	if replicated {
+		res.ServerIDs = serverIDs
+		res.ServerAddrs = serverAddrs
+	}
+	return res
 }
 
 // credentialPEM renders a credential's chain and key as PEM strings.

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/acl"
 	"repro/internal/core"
@@ -225,6 +226,10 @@ func (f *FSS) createSession(req *CreateSessionRequest) any {
 		Export:      req.Export,
 		Upstream:    req.Upstream,
 		Server:      req.Server,
+		Servers:     req.Servers,
+		Replicas:    req.ReplicaCount,
+		Quorum:      req.Quorum,
+		HedgeDelay:  time.Duration(req.HedgeDelayMS) * time.Millisecond,
 		Security:    req.Suite,
 		CertPath:    certPath,
 		KeyPath:     keyPath,

@@ -1,0 +1,25 @@
+package services
+
+import "repro/internal/placement"
+
+// The management plane re-exports the placement layer: the DSS
+// schedules replicated sessions with the same deterministic rendezvous
+// placement the client proxies use on the data path, so scheduler and
+// proxy always agree on which backends hold which block groups. The
+// algorithm itself lives in internal/placement, a leaf package, because
+// the proxy (which core depends on, which this package depends on)
+// needs it too.
+
+// Placement maps file block ranges onto ordered replica sets of
+// backends. See internal/placement.
+type Placement = placement.Placement
+
+// BackendInfo describes one replica backend (a server-side proxy
+// endpoint).
+type BackendInfo = placement.BackendInfo
+
+// NewPlacement builds a validated placement over backends. replicas
+// and quorum of 0 select the defaults.
+func NewPlacement(backends []BackendInfo, replicas, quorum int) (*Placement, error) {
+	return placement.New(backends, replicas, quorum)
+}

@@ -1,0 +1,124 @@
+package services
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testBackends(n int) []BackendInfo {
+	bs := make([]BackendInfo, n)
+	for i := range bs {
+		bs[i] = BackendInfo{ID: i, Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return bs
+}
+
+func TestPlacementDefaults(t *testing.T) {
+	p, err := NewPlacement(testBackends(5), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replicas != 3 || p.Quorum != 2 || p.GroupBlocks != 64 {
+		t.Fatalf("defaults: replicas=%d quorum=%d group=%d", p.Replicas, p.Quorum, p.GroupBlocks)
+	}
+	// Fewer backends than the default replica count clamps k.
+	p2, err := NewPlacement(testBackends(2), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Replicas != 2 || p2.Quorum != 2 {
+		t.Fatalf("clamped defaults: replicas=%d quorum=%d", p2.Replicas, p2.Quorum)
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	if _, err := NewPlacement(nil, 0, 0); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	if _, err := NewPlacement(testBackends(3), 4, 0); err == nil {
+		t.Fatal("replicas > backends accepted")
+	}
+	if _, err := NewPlacement(testBackends(3), 2, 3); err == nil {
+		t.Fatal("quorum > replicas accepted")
+	}
+	dup := testBackends(3)
+	dup[2].ID = 0
+	if _, err := NewPlacement(dup, 0, 0); err == nil {
+		t.Fatal("duplicate backend id accepted")
+	}
+}
+
+func TestPlacementDeterministicAndOrdered(t *testing.T) {
+	p, err := NewPlacement(testBackends(5), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := []byte("some-file-handle")
+	a := p.ReplicasFor(fh, 10)
+	b := p.ReplicasFor(fh, 10)
+	if len(a) != 3 {
+		t.Fatalf("replica set size %d, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement not deterministic: %v vs %v", a, b)
+		}
+	}
+	seen := map[int]bool{}
+	for _, id := range a {
+		if id < 0 || id >= 5 {
+			t.Fatalf("backend id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate backend %d in replica set %v", id, a)
+		}
+		seen[id] = true
+	}
+}
+
+func TestPlacementGroupsShareReplicaSet(t *testing.T) {
+	p, _ := NewPlacement(testBackends(5), 3, 2)
+	fh := []byte("grouped")
+	// Blocks within one group map identically; the group boundary may
+	// change the set.
+	base := p.ReplicasFor(fh, 0)
+	for blk := uint64(1); blk < p.GroupBlocks; blk++ {
+		got := p.ReplicasFor(fh, blk)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("block %d left its placement group: %v vs %v", blk, got, base)
+			}
+		}
+	}
+}
+
+func TestPlacementSpreadsLoad(t *testing.T) {
+	p, _ := NewPlacement(testBackends(5), 3, 2)
+	primary := make(map[int]int)
+	for f := 0; f < 200; f++ {
+		fh := []byte(fmt.Sprintf("file-%d", f))
+		primary[p.ReplicasFor(fh, 0)[0]]++
+	}
+	// Every backend should lead some placement; rendezvous hashing over
+	// 200 files makes a zero count astronomically unlikely.
+	for id := 0; id < 5; id++ {
+		if primary[id] == 0 {
+			t.Fatalf("backend %d is never primary: %v", id, primary)
+		}
+	}
+}
+
+func TestPlacementCovers(t *testing.T) {
+	p, _ := NewPlacement(testBackends(4), 2, 1)
+	fh := []byte("covered")
+	set := p.ReplicasFor(fh, 0)
+	in := map[int]bool{}
+	for _, id := range set {
+		in[id] = true
+	}
+	for id := 0; id < 4; id++ {
+		if p.Covers(fh, 0, id) != in[id] {
+			t.Fatalf("Covers(%d) = %v, set %v", id, !in[id], set)
+		}
+	}
+}

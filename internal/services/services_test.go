@@ -131,6 +131,169 @@ func (g *testGrid) schedule(t *testing.T) *ScheduleSessionResponse {
 	return &res
 }
 
+// newNFSBackend starts an extra NFS server exporting /GFS/alice, for
+// replicated-session tests.
+func newNFSBackend(t *testing.T, fsid uint64) (*vfs.MemFS, string) {
+	t.Helper()
+	be := vfs.NewMemFS()
+	rpc := oncrpc.NewServer()
+	nfs3.NewServer(be, fsid).Register(rpc)
+	md := mountd.NewServer()
+	md.AddExport(&mountd.Export{Path: "/GFS/alice", FS: be})
+	md.Register(rpc)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rpc.Serve(l)
+	t.Cleanup(rpc.Close)
+	return be, l.Addr().String()
+}
+
+func TestScheduleReplicatedSessionEndToEnd(t *testing.T) {
+	g := newGrid(t)
+	g.grantAlice(t)
+	be2, addr2 := newNFSBackend(t, 6)
+	be3, addr3 := newNFSBackend(t, 7)
+	backends := []*vfs.MemFS{g.backend, be2, be3}
+
+	proxy, err := g.alice.IssueProxy(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certPEM, keyPEM, err := credentialPEM(proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res ScheduleSessionResponse
+	if _, err := Call(g.dssURL, "ScheduleSession", &ScheduleSessionRequest{
+		Export:       "/GFS/alice",
+		ServerFSSs:   []string{g.fssURL, g.fssURL, g.fssURL},
+		Upstreams:    []string{g.nfsAddr, addr2, addr3},
+		ClientFSS:    g.fssURL,
+		Suite:        "aes",
+		ReplicaCount: 3,
+		Quorum:       2,
+		ProxyCertPEM: certPEM,
+		ProxyKeyPEM:  keyPEM,
+		DiskCache:    true,
+	}, g.alice, g.ca.Pool(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ServerIDs) != 3 || len(res.ServerAddrs) != 3 {
+		t.Fatalf("got %d server IDs / %d addrs, want 3/3", len(res.ServerIDs), len(res.ServerAddrs))
+	}
+	if res.MountAddr == "" {
+		t.Fatal("no mount address")
+	}
+
+	// Mount through the replicated session and write through the
+	// write-back cache.
+	ctx := context.Background()
+	addr := res.MountAddr
+	fs, err := nfsclient.Mount(ctx, func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		"/GFS/alice", nfsclient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	payload := []byte("replicated via DSS and three FSS-scheduled proxies")
+	f, err := fs.Create(ctx, "replicated.txt", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Call(g.fssURL, "FlushSession", &FlushSessionRequest{ID: res.ClientID},
+		g.admin, g.ca.Pool(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The flush acks at quorum (2 of 3); the straggler leg drains in
+	// the background, so poll each backend for convergence.
+	for i, be := range backends {
+		var got []byte
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if h, _, err := be.Lookup(be.Root(), "replicated.txt"); err == nil {
+				buf := make([]byte, len(payload)+16)
+				if n, _, err := be.Read(h, 0, buf); err == nil {
+					got = buf[:n]
+				}
+			}
+			if string(got) == string(payload) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("backend %d never converged: got %q", i, got)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		// Identity mapping applies on every replica.
+		if _, attr, err := be.Lookup(be.Root(), "replicated.txt"); err != nil || attr.UID != 5001 {
+			t.Fatalf("backend %d: uid %d err %v, want 5001", i, attr.UID, err)
+		}
+	}
+
+	for _, id := range append([]string{res.ClientID}, res.ServerIDs...) {
+		if _, err := Call(g.fssURL, "DestroySession", &DestroySessionRequest{ID: id},
+			g.admin, g.ca.Pool(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScheduleReplicatedRollsBackOnFailure(t *testing.T) {
+	g := newGrid(t)
+	g.grantAlice(t)
+	proxy, _ := g.alice.IssueProxy(time.Hour)
+	certPEM, keyPEM, _ := credentialPEM(proxy)
+
+	// Second replica's FSS endpoint is dead: the whole schedule must
+	// fault and the session created on the first FSS must be rolled
+	// back, not leaked as a half-provisioned replica set.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + l.Addr().String()
+	l.Close()
+	if _, err := Call(g.dssURL, "ScheduleSession", &ScheduleSessionRequest{
+		Export:       "/GFS/alice",
+		ServerFSSs:   []string{g.fssURL, dead},
+		Upstreams:    []string{g.nfsAddr, g.nfsAddr},
+		ClientFSS:    g.fssURL,
+		Suite:        "aes",
+		ProxyCertPEM: certPEM,
+		ProxyKeyPEM:  keyPEM,
+	}, g.alice, g.ca.Pool(), &ScheduleSessionResponse{}); err == nil {
+		t.Fatal("schedule with a dead replica FSS succeeded")
+	}
+	g.fss.mu.Lock()
+	leaked := len(g.fss.sessions)
+	g.fss.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("rollback leaked %d sessions", leaked)
+	}
+
+	// Mismatched FSS/upstream lists fault before any session exists.
+	if _, err := Call(g.dssURL, "ScheduleSession", &ScheduleSessionRequest{
+		Export:       "/GFS/alice",
+		ServerFSSs:   []string{g.fssURL, g.fssURL},
+		Upstreams:    []string{g.nfsAddr},
+		ClientFSS:    g.fssURL,
+		Suite:        "aes",
+		ProxyCertPEM: certPEM,
+		ProxyKeyPEM:  keyPEM,
+	}, g.alice, g.ca.Pool(), &ScheduleSessionResponse{}); err == nil {
+		t.Fatal("schedule with mismatched upstream list succeeded")
+	}
+}
+
 func TestGrantRequiresAdmin(t *testing.T) {
 	g := newGrid(t)
 	_, err := Call(g.dssURL, "GrantAccess", &GrantAccessRequest{

@@ -28,6 +28,19 @@ type CreateSessionRequest struct {
 	Accounts    string   `xml:"Accounts,omitempty"` // server role: accounts file content
 	FineGrained bool     `xml:"FineGrained,omitempty"`
 	DiskCache   bool     `xml:"DiskCache,omitempty"` // client role
+
+	// Servers lists replica server-proxy addresses (client role). When
+	// non-empty it supersedes Server and the client proxy replicates
+	// writes across the set, hedging reads between members.
+	Servers []string `xml:"Servers>Server,omitempty"`
+	// ReplicaCount (k) and Quorum tune the replication layer; zero
+	// values follow the placement defaults (k = all servers, quorum =
+	// majority of k).
+	ReplicaCount int `xml:"ReplicaCount,omitempty"`
+	Quorum       int `xml:"Quorum,omitempty"`
+	// HedgeDelayMS is the hedged-read delay in milliseconds (0 =
+	// proxy default).
+	HedgeDelayMS int `xml:"HedgeDelayMS,omitempty"`
 }
 
 // CreateSessionResponse reports the new session.
@@ -128,6 +141,16 @@ type ScheduleSessionRequest struct {
 	ProxyKeyPEM  string `xml:"ProxyKeyPEM"`
 	DiskCache    bool   `xml:"DiskCache,omitempty"`
 	FineGrained  bool   `xml:"FineGrained,omitempty"`
+
+	// ServerFSSs schedules a replicated session: one server proxy per
+	// FSS endpoint, paired element-wise with Upstreams. When non-empty
+	// they supersede ServerFSS and Upstream.
+	ServerFSSs []string `xml:"ServerFSSs>FSS,omitempty"`
+	Upstreams  []string `xml:"Upstreams>Upstream,omitempty"`
+	// ReplicaCount and Quorum are forwarded to the client proxy's
+	// replication layer (zero = defaults).
+	ReplicaCount int `xml:"ReplicaCount,omitempty"`
+	Quorum       int `xml:"Quorum,omitempty"`
 }
 
 // ScheduleSessionResponse reports the established session.
@@ -137,4 +160,9 @@ type ScheduleSessionResponse struct {
 	ClientID   string   `xml:"ClientID"`
 	MountAddr  string   `xml:"MountAddr"` // what the local NFS client mounts
 	ServerAddr string   `xml:"ServerAddr"`
+
+	// ServerIDs/ServerAddrs report every replica for a replicated
+	// session (ServerID/ServerAddr then name the first replica).
+	ServerIDs   []string `xml:"ServerIDs>ID,omitempty"`
+	ServerAddrs []string `xml:"ServerAddrs>Addr,omitempty"`
 }

@@ -45,11 +45,12 @@ BENCHTIME ?= 1x
 bench:
 	$(GO) run ./cmd/sgfs-bench5 -benchtime $(BENCHTIME) -out BENCH_5.json
 
-# Repo-specific analyzers (xdr-symmetry, lock-over-io,
-# unlocked-field-read, swallowed-error, lock-order, ctx-deadline,
-# goroutine-leak, replay-table-sync, secret-flow, unbounded-alloc,
-# weak-rand). Fails on any finding not in .sgfsvet-ignore; see
-# DESIGN.md. CI also archives the -json report.
+# Repo-specific analyzers (xdr-symmetry, lock-over-io, lockset-race,
+# pool-lifecycle, atomic-misuse, swallowed-error, lock-order,
+# ctx-deadline, goroutine-leak, replay-table-sync, secret-flow,
+# unbounded-alloc, weak-rand, resource-leak, retry-safety). Fails on
+# any finding not in .sgfsvet-ignore — and on stale allowlist entries
+# (exit 2); see DESIGN.md. CI also archives the -json report.
 sgfs-vet:
 	$(GO) run ./cmd/sgfs-vet -all ./...
 

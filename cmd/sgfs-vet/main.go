@@ -27,8 +27,11 @@
 //
 // Exit status is 0 when clean, 1 when there are findings not covered
 // by the allowlist (or, with -annotate, when the report has findings
-// or busts the budget), and 2 on usage or load errors. See DESIGN.md,
-// "Static analysis: sgfs-vet".
+// or busts the budget), and 2 on usage or load errors — including a
+// rotten allowlist: a full run whose .sgfsvet-ignore still carries
+// entries that matched nothing exits 2 until the stale lines are
+// deleted or -prune removes them. See DESIGN.md, "Static analysis:
+// sgfs-vet".
 package main
 
 import (
@@ -245,7 +248,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			report.StaleIgnores = nil
 		}
 		for _, line := range report.StaleIgnores {
-			fmt.Fprintf(stderr, "sgfs-vet: %s:%d: allowlist entry matched nothing (stale?)\n", ipath, line)
+			fmt.Fprintf(stderr, "sgfs-vet: %s:%d: allowlist entry matched nothing\n", ipath, line)
 		}
 	} else if *prune {
 		fmt.Fprintln(stderr, "sgfs-vet: -prune needs a full run (all analyzers, whole module) to prove entries stale")
@@ -261,9 +264,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(report.Findings) > 0 {
 		fmt.Fprintf(stderr, "sgfs-vet: %d finding(s)\n", len(report.Findings))
+	}
+	// A rotten allowlist is a configuration error, not a finding: the
+	// suppression set no longer describes the code, so nothing this run
+	// reported (or didn't) can be trusted until it is repaired.
+	if len(report.StaleIgnores) > 0 {
+		fmt.Fprintf(stderr, "sgfs-vet: allowlist is stale: %d entr%s in %s matched nothing; delete them or run -prune\n",
+			len(report.StaleIgnores), plural(len(report.StaleIgnores), "y", "ies"), ipath)
+		return 2
+	}
+	if len(report.Findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// plural picks the singular or plural suffix for a count.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // runAnnotate replays a -json report as GitHub Actions workflow

@@ -99,12 +99,15 @@ func TestRunJSON(t *testing.T) {
 	if err := os.WriteFile(ignore, []byte("lock-over-io never/matches nothing here\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	code, stdout, _ := runVet(t, "-C", root, "-json")
-	if code != 1 {
-		t.Fatalf("exit = %d, want 1", code)
+	code, stdout, stderr := runVet(t, "-C", root, "-json")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 with a stale allowlist entry; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "allowlist is stale") {
+		t.Errorf("stderr = %q, want distinct stale-allowlist error", stderr)
 	}
 	var report struct {
-		ModuleRoot   string `json:"module_root"`
+		ModuleRoot   string                                     `json:"module_root"`
 		Findings     []struct{ Analyzer, File, Message string } `json:"findings"`
 		Suppressed   []struct{ Analyzer string }                `json:"suppressed"`
 		StaleIgnores []int                                      `json:"stale_ignore_lines"`
@@ -127,6 +130,39 @@ func TestRunJSON(t *testing.T) {
 	}
 	if len(report.StaleIgnores) != 1 {
 		t.Errorf("stale_ignore_lines = %v, want one entry", report.StaleIgnores)
+	}
+}
+
+func TestRunStaleIgnoreFails(t *testing.T) {
+	root := writeModule(t)
+	ignore := filepath.Join(root, ".sgfsvet-ignore")
+	// Cover both real findings so the only problem is the stale line.
+	content := "lock-order demo/demo.go lock-order cycle\n" +
+		"swallowed-error demo/demo.go result of mayFail\n" +
+		"lock-over-io never/matches nothing here\n"
+	if err := os.WriteFile(ignore, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runVet(t, "-C", root)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 on a stale allowlist; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "allowlist entry matched nothing") {
+		t.Errorf("stderr missing per-line stale report: %s", stderr)
+	}
+	if !strings.Contains(stderr, "allowlist is stale") || !strings.Contains(stderr, "-prune") {
+		t.Errorf("stderr = %q, want distinct stale-allowlist error mentioning -prune", stderr)
+	}
+	// Partial runs cannot prove staleness, so they keep exiting clean.
+	if code, _, stderr := runVet(t, "-C", root, "-run", "swallowed-error"); code != 0 {
+		t.Errorf("partial run exit = %d, want 0 (stale check needs a full run); stderr:\n%s", code, stderr)
+	}
+	// -prune repairs the allowlist and restores a clean exit.
+	if code, _, stderr := runVet(t, "-C", root, "-prune"); code != 0 {
+		t.Errorf("prune exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if code, _, stderr := runVet(t, "-C", root); code != 0 {
+		t.Errorf("post-prune exit = %d, want 0; stderr:\n%s", code, stderr)
 	}
 }
 

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -132,5 +133,117 @@ func TestReplicaStatsSnapshot(t *testing.T) {
 		if h.String() != want {
 			t.Fatalf("health %d renders %q", h, h.String())
 		}
+	}
+}
+
+// TestSnapshotRaceHammer drives concurrent writers and Snapshot
+// readers over every stats block at once. Under -race it proves the
+// reporting path never races with the hot-path counter updates, and
+// the monotone counters a reader observes never run backwards.
+func TestSnapshotRaceHammer(t *testing.T) {
+	t.Parallel()
+	const (
+		writers = 4
+		readers = 3
+		spins   = 2000
+	)
+	var (
+		ch ChannelStats
+		dp DataPathStats
+	)
+	rs := NewReplicaStats(3)
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed int) {
+			defer writerWG.Done()
+			for i := 0; i < spins; i++ {
+				ch.Disconnects.Add(1)
+				ch.Reconnects.Add(1)
+				ch.Replays.Add(1)
+				ch.Timeouts.Add(1)
+				ch.DegradedReads.Add(1)
+
+				dp.EnterFlush()
+				dp.FlushedBlocks.Add(1)
+				dp.ReadaheadIssued.Add(1)
+				dp.InflightDedup.Add(1)
+				dp.LeaveFlush()
+
+				rs.QuorumWrites.Add(1)
+				rs.HedgedReads.Add(1)
+				rs.RepairsQueued.Add(1)
+				b := rs.Backend((seed + i) % len(rs.Backends))
+				b.Calls.Add(1)
+				b.Health.Store(int32(BackendHealth(i % 3)))
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	errc := make(chan error, readers)
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			prevCh, prevDP, prevRS := ch.Snapshot(), dp.Snapshot(), rs.Snapshot()
+			for {
+				cs, ds, rss := ch.Snapshot(), dp.Snapshot(), rs.Snapshot()
+				switch {
+				case cs.Disconnects < prevCh.Disconnects || cs.Replays < prevCh.Replays:
+					errc <- fmt.Errorf("channel counters ran backwards: %+v then %+v", prevCh, cs)
+					return
+				case ds.FlushedBlocks < prevDP.FlushedBlocks || ds.FlushPeak < prevDP.FlushPeak:
+					errc <- fmt.Errorf("data-path counters ran backwards: %+v then %+v", prevDP, ds)
+					return
+				case rss.QuorumWrites < prevRS.QuorumWrites ||
+					rss.Backends[0].Calls < prevRS.Backends[0].Calls:
+					errc <- fmt.Errorf("replica counters ran backwards")
+					return
+				case ds.FlushActive < 0 || ds.FlushActive > writers:
+					errc <- fmt.Errorf("FlushActive = %d with %d writers", ds.FlushActive, writers)
+					return
+				}
+				prevCh, prevDP, prevRS = cs, ds, rss
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	const total = writers * spins
+	if got := ch.Snapshot(); got.Disconnects != total || got.DegradedReads != total {
+		t.Errorf("channel totals = %+v, want %d each", got, total)
+	}
+	got := dp.Snapshot()
+	if got.FlushedBlocks != total || got.FlushActive != 0 {
+		t.Errorf("data-path totals = %+v, want %d flushed, 0 active", got, total)
+	}
+	if got.FlushPeak < 1 || got.FlushPeak > writers {
+		t.Errorf("FlushPeak = %d, want within [1, %d]", got.FlushPeak, writers)
+	}
+	rsnap := rs.Snapshot()
+	if rsnap.QuorumWrites != total {
+		t.Errorf("QuorumWrites = %d, want %d", rsnap.QuorumWrites, total)
+	}
+	var calls uint64
+	for _, b := range rsnap.Backends {
+		calls += b.Calls
+	}
+	if calls != total {
+		t.Errorf("per-backend calls sum = %d, want %d", calls, total)
 	}
 }

@@ -205,17 +205,27 @@ func (c *pageCache) Put(fh nfs3.FH3, block uint64, data []byte, dirty bool) []*c
 	return c.evictLocked()
 }
 
-// DirtyBlocks returns (and cleans) all dirty blocks for fh, ordered by
-// block number by the caller if needed.
-func (c *pageCache) DirtyBlocks(fh nfs3.FH3) []*cacheBlock {
+// dirtyBlock is one dirty block snapshotted under the cache lock. The
+// key and the data header are immutable copies: writers replace a
+// block's data slice wholesale (writeCached copies before Put, Put
+// swaps the header under mu), so the snapshot can be read lock-free
+// after DirtyBlocks returns, while the live *cacheBlock keeps moving.
+type dirtyBlock struct {
+	key  blockKey
+	data []byte
+}
+
+// DirtyBlocks returns (and cleans) snapshots of all dirty blocks for
+// fh, ordered by block number by the caller if needed.
+func (c *pageCache) DirtyBlocks(fh nfs3.FH3) []dirtyBlock {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := fhKey(fh)
-	var out []*cacheBlock
+	var out []dirtyBlock
 	for k, b := range c.blocks {
 		if k.fh == key && b.dirty {
 			b.dirty = false
-			out = append(out, b)
+			out = append(out, dirtyBlock{key: k, data: b.data})
 		}
 	}
 	return out

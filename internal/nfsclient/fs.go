@@ -845,7 +845,7 @@ func (fs *FileSystem) flushFile(ctx context.Context, fh nfs3.FH3) error {
 	bs := uint64(fs.opt.BlockSize)
 	for _, b := range dirty {
 		sem <- struct{}{}
-		go func(b *cacheBlock) {
+		go func(b dirtyBlock) {
 			defer func() { <-sem }()
 			_, err := fs.proto.Write(ctx, fh, b.key.block*bs, b.data, nfs3.Unstable)
 			if err == nil {

@@ -751,13 +751,16 @@ type legResult struct {
 // hedged serves a read from the fastest replica: the primary is asked
 // first, a hedge fires after HedgeDelay, and failures fail over to the
 // remaining replicas. accept runs exactly once, on the winning reply.
-func (rs *replicaSet) hedged(ctx context.Context, fh nfs3.FH3, block uint64,
+// When every leg fails the error names the procedure and the backend
+// that failed last, so an operator can tell a dead pool from one bad
+// replica without re-running with tracing on.
+func (rs *replicaSet) hedged(ctx context.Context, proc uint32, fh nfs3.FH3, block uint64,
 	leg func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error),
 	accept func(b *replicaBackend, rep xdr.Unmarshaler)) error {
 
 	targets := rs.readTargets(fh, block)
 	if len(targets) == 0 {
-		return errors.New("proxy: no replica backends")
+		return fmt.Errorf("proxy: %s: no replica backends", nfs3.ProcName(proc))
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -781,6 +784,7 @@ func (rs *replicaSet) hedged(ctx context.Context, fh nfs3.FH3, block uint64,
 	primaryFailed := false
 	failures := 0
 	var lastErr error
+	var lastBackend *replicaBackend
 	for {
 		select {
 		case <-ctx.Done():
@@ -810,12 +814,14 @@ func (rs *replicaSet) hedged(ctx context.Context, fh nfs3.FH3, block uint64,
 			}
 			failures++
 			lastErr = r.err
+			lastBackend = r.b
 			if launched < len(targets) {
 				launch(launched)
 				launched++
 			}
 			if failures == len(targets) {
-				return lastErr
+				return fmt.Errorf("proxy: %s: all %d read replica(s) failed, last backend %d (%s): %w",
+					nfs3.ProcName(proc), len(targets), lastBackend.id, lastBackend.addr, lastErr)
 			}
 		}
 	}
@@ -1035,7 +1041,7 @@ func (rs *replicaSet) purgeName(key string) {
 func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) error {
 	switch proc {
 	case nfs3.ProcNull:
-		return rs.hedged(ctx, rs.ns.root, 0,
+		return rs.hedged(ctx, proc, rs.ns.root, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				return nil, b.call(ctx, nfs3.ProcNull, nil, nil)
 			},
@@ -1044,7 +1050,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcGetAttr:
 		a := args.(*nfs3.GetAttrArgs)
 		out := reply.(*nfs3.GetAttrRes)
-		return rs.hedged(ctx, a.Obj, 0,
+		return rs.hedged(ctx, proc, a.Obj, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bfh, err := b.resolve(ctx, a.Obj, resolveOnly)
 				if err != nil {
@@ -1064,7 +1070,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcLookup:
 		a := args.(*nfs3.LookupArgs)
 		out := reply.(*nfs3.LookupRes)
-		return rs.hedged(ctx, a.What.Dir, 0,
+		return rs.hedged(ctx, proc, a.What.Dir, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bdir, err := b.resolve(ctx, a.What.Dir, resolveOnly)
 				if err != nil {
@@ -1089,7 +1095,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcAccess:
 		a := args.(*nfs3.AccessArgs)
 		out := reply.(*nfs3.AccessRes)
-		return rs.hedged(ctx, a.Obj, 0,
+		return rs.hedged(ctx, proc, a.Obj, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bfh, err := b.resolve(ctx, a.Obj, resolveOnly)
 				if err != nil {
@@ -1107,7 +1113,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcReadLink:
 		a := args.(*nfs3.ReadLinkArgs)
 		out := reply.(*nfs3.ReadLinkRes)
-		return rs.hedged(ctx, a.Obj, 0,
+		return rs.hedged(ctx, proc, a.Obj, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bfh, err := b.resolve(ctx, a.Obj, resolveOnly)
 				if err != nil {
@@ -1125,7 +1131,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcRead:
 		a := args.(*nfs3.ReadArgs)
 		out := reply.(*nfs3.ReadRes)
-		return rs.hedged(ctx, a.Obj, a.Offset/rs.blockSize,
+		return rs.hedged(ctx, proc, a.Obj, a.Offset/rs.blockSize,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bfh, err := b.resolve(ctx, a.Obj, resolveOnly)
 				if err != nil {
@@ -1144,7 +1150,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcReadDir:
 		a := args.(*nfs3.ReadDirArgs)
 		out := reply.(*nfs3.ReadDirRes)
-		return rs.hedged(ctx, a.Dir, 0,
+		return rs.hedged(ctx, proc, a.Dir, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bdir, err := b.resolve(ctx, a.Dir, resolveOnly)
 				if err != nil {
@@ -1166,7 +1172,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcReadDirPlus:
 		a := args.(*nfs3.ReadDirPlusArgs)
 		out := reply.(*nfs3.ReadDirPlusRes)
-		return rs.hedged(ctx, a.Dir, 0,
+		return rs.hedged(ctx, proc, a.Dir, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bdir, err := b.resolve(ctx, a.Dir, resolveOnly)
 				if err != nil {
@@ -1195,7 +1201,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcFSStat:
 		a := args.(*nfs3.FSStatArgs)
 		out := reply.(*nfs3.FSStatRes)
-		return rs.hedged(ctx, a.Obj, 0,
+		return rs.hedged(ctx, proc, a.Obj, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bfh, err := b.resolve(ctx, a.Obj, resolveOnly)
 				if err != nil {
@@ -1213,7 +1219,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcFSInfo:
 		a := args.(*nfs3.FSStatArgs)
 		out := reply.(*nfs3.FSInfoRes)
-		return rs.hedged(ctx, a.Obj, 0,
+		return rs.hedged(ctx, proc, a.Obj, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bfh, err := b.resolve(ctx, a.Obj, resolveOnly)
 				if err != nil {
@@ -1231,7 +1237,7 @@ func (rs *replicaSet) Call(ctx context.Context, proc uint32, args xdr.Marshaler,
 	case nfs3.ProcPathConf:
 		a := args.(*nfs3.FSStatArgs)
 		out := reply.(*nfs3.PathConfRes)
-		return rs.hedged(ctx, a.Obj, 0,
+		return rs.hedged(ctx, proc, a.Obj, 0,
 			func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) {
 				bfh, err := b.resolve(ctx, a.Obj, resolveOnly)
 				if err != nil {

@@ -3,8 +3,10 @@ package proxy
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,7 +17,9 @@ import (
 	"repro/internal/nfs3"
 	"repro/internal/nfsclient"
 	"repro/internal/oncrpc"
+	"repro/internal/placement"
 	"repro/internal/vfs"
+	"repro/internal/xdr"
 )
 
 // replStack is a replicated SGFS deployment: n independent
@@ -314,6 +318,46 @@ func TestReplicatedEndToEnd(t *testing.T) {
 	}
 	if got, ok := st.cp.ReplicaStats(); !ok || len(got.Backends) != 3 {
 		t.Fatalf("ReplicaStats: %+v %v", got, ok)
+	}
+}
+
+// TestHedgedFailoverErrorContext: when every read leg fails, the
+// surfaced error must name the procedure and the backend that failed
+// last (and wrap the underlying leg error), so operators can tell a
+// dead pool from one bad replica.
+func TestHedgedFailoverErrorContext(t *testing.T) {
+	t.Parallel()
+	stats := metrics.NewReplicaStats(2)
+	place, err := placement.New([]placement.BackendInfo{
+		{ID: 0, Addr: "10.0.0.1:2049"},
+		{ID: 1, Addr: "10.0.0.2:2049"},
+	}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &replicaSet{
+		cfg:   &ReplicationConfig{HedgeDelay: time.Millisecond},
+		place: place,
+		stats: stats,
+	}
+	for i, addr := range []string{"10.0.0.1:2049", "10.0.0.2:2049"} {
+		rs.backs = append(rs.backs, &replicaBackend{id: i, addr: addr, set: rs, bs: stats.Backends[i]})
+	}
+	legErr := fmt.Errorf("dial tcp: connection refused")
+	err = rs.hedged(context.Background(), nfs3.ProcRead, nfs3.FH3{Data: []byte("fh")}, 0,
+		func(b *replicaBackend, ctx context.Context) (xdr.Unmarshaler, error) { return nil, legErr },
+		func(b *replicaBackend, rep xdr.Unmarshaler) { t.Error("accept ran though every leg failed") })
+	if err == nil {
+		t.Fatal("hedged returned nil though every leg failed")
+	}
+	if !errors.Is(err, legErr) {
+		t.Errorf("err = %v, want it to wrap the leg error", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"READ", "backend", ":2049", "2 read replica(s)"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("err = %q, missing %q", msg, want)
+		}
 	}
 }
 

@@ -26,6 +26,16 @@ func FuzzCFGBuild(f *testing.F) {
 		"for range ch { if f() { return } }\nvar x, y = 1, 2\n_ = x + y",
 		"func() { for { if done { return } } }()",
 		"switch { case a < b: x = 1; case a > b: for { break }; default: goto out }\nout:",
+		// Shapes from the fifth-generation concurrency fixtures:
+		// pooled-buffer lifecycles, deferred/branchy Puts, goroutine
+		// handoffs, and CAS retry loops.
+		"b := pool.Get().([]byte)\ndefer pool.Put(b)\nuse(b)\nreturn",
+		"b := get()\nif cap(b) > 64 { put(b) }\nb = b[:0]\nreturn",
+		"rec := p.Get().(*record)\ngo func() { ch <- rec }()\np.Put(rec)",
+		"b := get()\nswitch mode { case 1: put(b); case 2: s.held = b }\nreturn",
+		"for { old := g.Load(); if n <= old || g.CompareAndSwap(old, n) { return } }",
+		"x := pool.Get()\ndefer func() { pool.Put(x) }()\nfor i := range buf { buf[i] = 0 }",
+		"n := atomic.AddUint64(&h.n, 1)\natomic.StoreUint64(&h.gen, atomic.LoadUint64(&h.gen)+n)",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -27,7 +27,9 @@ func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		XDRSymmetry{},
 		LockOverIO{Packages: LockIOPackages},
-		UnlockedFieldRead{},
+		LocksetRace{},
+		PoolLifecycle{},
+		AtomicMisuse{},
 		SwallowedError{},
 		LockOrder{},
 		CtxDeadline{Packages: CtxDeadlinePackages},

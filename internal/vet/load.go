@@ -1,6 +1,6 @@
 // Package vet implements sgfs-vet, a repository-specific static
 // analysis suite built purely on the standard library's go/ast,
-// go/parser and go/types. It carries thirteen analyzers tuned to the
+// go/parser and go/types. It carries fifteen analyzers tuned to the
 // invariants this codebase depends on but the compiler cannot check.
 //
 // Syntactic, per-package:
@@ -10,8 +10,6 @@
 //   - lock-over-io: no mutex may be held across blocking transport
 //     I/O in the RPC/proxy/channel hot paths (vetted exceptions are
 //     allowlisted in .sgfsvet-ignore).
-//   - unlocked-field-read: a struct field written under a mutex must
-//     not be read bare elsewhere in the same type's methods.
 //   - swallowed-error: `_ =` discards and unchecked error-returning
 //     calls in non-test code must be handled or allowlisted.
 //
@@ -48,6 +46,19 @@
 //     release.
 //   - retry-safety: code reachable from retry/replay roots must not
 //     re-issue procedures the replay table classifies non-idempotent.
+//
+// Concurrency vetting, on the same CFG and call-graph machinery
+// (fifth generation):
+//
+//   - lockset-race: flow-aware lockset inference, replacing the old
+//     syntactic unlocked-field-read check; accesses of a mutex-guarded
+//     field with a provably empty lockset are races.
+//   - pool-lifecycle: sync.Pool obligations — no use after Put, no
+//     double Put, no pooled buffer stored, sent, returned, or handed
+//     to a goroutine past the Put that recycles it.
+//   - atomic-misuse: no plain reads or writes of locations accessed
+//     via sync/atomic elsewhere, and no Store(Load()+n) lost-update
+//     read-modify-writes.
 //
 // See DESIGN.md ("Static analysis: sgfs-vet") for the full contract
 // and instructions for adding analyzers.

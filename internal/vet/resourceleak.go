@@ -934,15 +934,21 @@ func (r *resRun) acquire(st obFact, call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-// noReturn recognizes calls that terminate the process or goroutine:
-// log.Fatal*, os.Exit, runtime.Goexit, and the panic builtin.
+// noReturn recognizes calls that terminate the process or goroutine.
 func (r *resRun) noReturn(call *ast.CallExpr) bool {
+	return noReturnCall(r.pkg, call)
+}
+
+// noReturnCall recognizes calls that terminate the process or
+// goroutine: log.Fatal*, os.Exit, runtime.Goexit, and the panic
+// builtin. No code after one runs on its path.
+func noReturnCall(pkg *Package, call *ast.CallExpr) bool {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, isB := r.pkg.Info.Uses[id].(*types.Builtin); isB {
+		if b, isB := pkg.Info.Uses[id].(*types.Builtin); isB {
 			return b.Name() == "panic"
 		}
 	}
-	fn, path := stdCallee(r.pkg, call)
+	fn, path := stdCallee(pkg, call)
 	if fn == nil {
 		return false
 	}

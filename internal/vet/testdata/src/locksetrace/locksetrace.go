@@ -1,0 +1,135 @@
+// Package locksetrace exercises the lockset-race analyzer: guard
+// inference by majority of locked accesses, entry-lockset propagation
+// through call sites, lock-helper exit summaries, and the reporting
+// carve-outs (constructors, documented preconditions, atomics,
+// deferred unlocks).
+package locksetrace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	m    map[string]int
+	flag atomic.Bool
+}
+
+// NewCounter writes fields on a locally-allocated object: the bare
+// writes are pre-publication and must not be reported.
+func NewCounter() *counter {
+	c := &counter{m: make(map[string]int)}
+	c.n = 1
+	return c
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Get keeps the lock held through the deferred unlock: the read is
+// guarded.
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Peek reads the guarded field with no lock at all.
+func (c *counter) Peek() int {
+	return c.n // want "read with no lock held"
+}
+
+// Reset is the flow-sensitive case: the first write is guarded, the
+// second happens after the unlock.
+func (c *counter) Reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	c.n = 0 // want "written with no lock held"
+}
+
+// Spawn writes from a goroutine that inherits none of its spawner's
+// locks.
+func (c *counter) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "written with no lock held"
+	}()
+}
+
+// bump is only ever called with c.mu held; the entry-lockset
+// propagation must prove its access guarded.
+func (c *counter) bump() {
+	c.n++
+}
+
+func (c *counter) IncTwice() {
+	c.mu.Lock()
+	c.bump()
+	c.bump()
+	c.mu.Unlock()
+}
+
+// touch has one locked caller and one bare caller: the entry lockset
+// intersects to empty, so its access is reportable.
+func (c *counter) touch() {
+	c.n++ // want "written with no lock held"
+}
+
+func (c *counter) LockedTouch() {
+	c.mu.Lock()
+	c.touch()
+	c.mu.Unlock()
+}
+
+func (c *counter) BareTouch() {
+	c.touch()
+}
+
+// applyDelta documents its precondition; the caller must hold c.mu.
+func (c *counter) applyDelta(d int) {
+	c.n += d
+}
+
+func (c *counter) Unsafe(d int) {
+	c.applyDelta(d)
+}
+
+// lock and unlock are helpers whose exit summaries must compose into
+// their callers' locksets.
+func (c *counter) lock()   { c.mu.Lock() }
+func (c *counter) unlock() { c.mu.Unlock() }
+
+func (c *counter) HelperGuarded() {
+	c.lock()
+	c.n = 2
+	c.unlock()
+}
+
+func (c *counter) Put(k string, v int) {
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+func (c *counter) Load(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+// Drop mutates the guarded map with no lock held.
+func (c *counter) Drop(k string) {
+	delete(c.m, k) // want "written with no lock held"
+}
+
+// Flag is self-synchronized: atomics carry their own ordering.
+func (c *counter) Flag() bool {
+	return c.flag.Load()
+}

@@ -1,0 +1,154 @@
+// Package poollifecycle exercises the pool-lifecycle analyzer: pooled
+// objects used after their Put, returned to the pool twice, escaping
+// past their Put, and the clean disciplines that must stay silent.
+package poollifecycle
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+var errFail = errors.New("fail")
+
+type sink struct {
+	held []byte
+	ch   chan []byte
+}
+
+func consume([]byte) {}
+
+// ---- true positives ----
+
+// useAfterPut reads the buffer after recycling it: another goroutine
+// may already have Got it.
+func useAfterPut() int {
+	b := *bufPool.Get().(*[]byte)
+	bufPool.Put(&b)
+	return len(b) // want "used after being returned to the pool"
+}
+
+// doublePut recycles the same buffer twice on the cond path, so two
+// future Gets share one backing array.
+func doublePut(cond bool) {
+	b := *bufPool.Get().(*[]byte)
+	if cond {
+		bufPool.Put(&b)
+	}
+	bufPool.Put(&b) // want "returned to the pool twice"
+}
+
+// storeThenPut publishes the buffer into a longer-lived structure and
+// then recycles it out from under the reader.
+func (s *sink) storeThenPut() {
+	b := *bufPool.Get().(*[]byte)
+	s.held = b
+	bufPool.Put(&b) // want "escapes"
+}
+
+// sendThenPut hands the buffer to another goroutine over a channel and
+// recycles it anyway.
+func (s *sink) sendThenPut() {
+	b := *bufPool.Get().(*[]byte)
+	s.ch <- b
+	bufPool.Put(&b) // want "escapes"
+}
+
+// asyncThenPut captures the buffer in a goroutine and recycles it
+// while the goroutine may still be using it.
+func asyncThenPut(f func([]byte)) {
+	b := *bufPool.Get().(*[]byte)
+	go f(b)
+	bufPool.Put(&b) // want "goroutine"
+}
+
+// deferPutThenReturn returns a buffer that the deferred Put recycles
+// the moment the function exits.
+func deferPutThenReturn() []byte {
+	b := *bufPool.Get().(*[]byte)
+	defer bufPool.Put(&b)
+	return b // want "deferred Put"
+}
+
+// helperUseAfterPut releases through the recPut-shaped helper; its
+// summary makes the call a Put, so the read after it is flagged.
+func helperUseAfterPut() byte {
+	b := get()
+	put(b)
+	return b[0] // want "used after being returned to the pool"
+}
+
+// ---- false-positive avoidance ----
+
+// get and put are recGet/recPut-shaped helpers: the summaries carry
+// the acquire and the release across the calls.
+func get() []byte { return *bufPool.Get().(*[]byte) }
+
+func put(p []byte) {
+	if cap(p) > 1<<16 {
+		return // oversized: let the GC have it
+	}
+	p = p[:0]
+	bufPool.Put(&p)
+}
+
+// getUsePut is the straight-line discipline: no diagnostic.
+func getUsePut() {
+	b := *bufPool.Get().(*[]byte)
+	b = append(b[:0], 1, 2, 3)
+	consume(b)
+	bufPool.Put(&b)
+}
+
+// branchedPutOnce puts exactly once on every path (the CallCred
+// shape): the error-path Put never merges with the success-path one.
+func branchedPutOnce(fail bool) error {
+	b := *bufPool.Get().(*[]byte)
+	if fail {
+		bufPool.Put(&b)
+		return errFail
+	}
+	consume(b)
+	bufPool.Put(&b)
+	return nil
+}
+
+// deferredPut registers the recycle up front and uses the buffer
+// freely afterwards (the dispatch shape): the Put runs at exit, after
+// every use.
+func deferredPut() {
+	b := *bufPool.Get().(*[]byte)
+	defer bufPool.Put(&b)
+	consume(b)
+	b = append(b, 9)
+	consume(b)
+}
+
+// rebindAfterPut recycles, then rebinds the variable to fresh memory:
+// later uses touch the new buffer, not the pooled one.
+func rebindAfterPut() int {
+	b := *bufPool.Get().(*[]byte)
+	bufPool.Put(&b)
+	b = make([]byte, 8)
+	return len(b)
+}
+
+// helperRoundTrip acquires and releases through the helpers: the
+// obligation opens at get and closes at put, with uses in between.
+func helperRoundTrip() {
+	b := get()
+	consume(b)
+	put(b)
+}
+
+// loopReuse gets a fresh buffer each iteration; the Get at the reused
+// site resets the obligation, so iteration N+1's use of the new buffer
+// is not confused with iteration N's Put.
+func loopReuse(n int) {
+	for i := 0; i < n; i++ {
+		b := *bufPool.Get().(*[]byte)
+		consume(b)
+		bufPool.Put(&b)
+	}
+}

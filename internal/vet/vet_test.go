@@ -89,9 +89,19 @@ func TestLockOverIO(t *testing.T) {
 	runFixture(t, "lockio", LockOverIO{})
 }
 
-func TestUnlockedFieldRead(t *testing.T) {
+func TestLocksetRace(t *testing.T) {
 	t.Parallel()
-	runFixture(t, "unlockedread", UnlockedFieldRead{})
+	runFixture(t, "locksetrace", LocksetRace{})
+}
+
+func TestPoolLifecycle(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "poollifecycle", PoolLifecycle{})
+}
+
+func TestAtomicMisuse(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "atomicmisuse", AtomicMisuse{})
 }
 
 func TestSwallowedError(t *testing.T) {

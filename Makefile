@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos fuzz-short bench sgfs-vet check
+.PHONY: build test vet race chaos fuzz-short bench alloc-baseline sgfs-vet alloc-budget check
 
 build:
 	$(GO) build ./...
@@ -39,20 +39,35 @@ fuzz-short:
 # Data-path microbenchmarks: oncrpc call-path and securechan
 # seal/open allocations, plus the WAN flush-scaling sweep (workers
 # 1/2/4/8 under an emulated 20 ms RTT). Results land in BENCH_5.json;
-# CI runs at -benchtime 1x and archives the file, full runs use e.g.
-# BENCHTIME=100x. The paper-figure suite stays in cmd/sgfs-bench.
+# BENCH_6.json pairs the allocation benchmarks with the static
+# alloc-hotpath census totals (runtime allocs/op vs the budgeted heap
+# sites). CI runs at -benchtime 1x and archives both files, full runs
+# use e.g. BENCHTIME=100x. The paper-figure suite stays in
+# cmd/sgfs-bench.
 BENCHTIME ?= 1x
 bench:
 	$(GO) run ./cmd/sgfs-bench5 -benchtime $(BENCHTIME) -out BENCH_5.json
+	$(GO) run ./cmd/sgfs-bench6 -benchtime $(BENCHTIME) -out BENCH_6.json
+
+# Recompute the hot-path alloc census and refresh the committed
+# baseline the CI alloc budget compares against.
+alloc-baseline:
+	$(GO) run ./cmd/sgfs-vet -alloc-census > .sgfsvet-allocs.json
 
 # Repo-specific analyzers (xdr-symmetry, lock-over-io, lockset-race,
 # pool-lifecycle, atomic-misuse, swallowed-error, lock-order,
 # ctx-deadline, goroutine-leak, replay-table-sync, secret-flow,
-# unbounded-alloc, weak-rand, resource-leak, retry-safety). Fails on
-# any finding not in .sgfsvet-ignore — and on stale allowlist entries
-# (exit 2); see DESIGN.md. CI also archives the -json report.
+# unbounded-alloc, weak-rand, resource-leak, retry-safety,
+# alloc-hotpath). Fails on any finding not in .sgfsvet-ignore — and
+# on stale allowlist entries (exit 2); see DESIGN.md. CI also
+# archives the -json report.
 sgfs-vet:
 	$(GO) run ./cmd/sgfs-vet -all ./...
 
+# The alloc budget gate: the fresh hot-path census must fit the
+# committed .sgfsvet-allocs.json baseline (see `make alloc-baseline`).
+alloc-budget:
+	$(GO) run ./cmd/sgfs-vet -alloc-budget
+
 # The CI gate: everything that must be green before merging.
-check: build vet race chaos sgfs-vet
+check: build vet race chaos sgfs-vet alloc-budget

@@ -1,0 +1,107 @@
+// Command sgfs-bench6 measures the hot-path allocation discipline and
+// writes the parsed results to a JSON file (BENCH_6.json by default)
+// for CI to archive. It pairs two views of the same property:
+//
+//   - runtime: allocs/op and B/op of the oncrpc call-path and
+//     securechan seal/open benchmarks, straight from `go test -bench
+//     -benchmem`;
+//   - static: the per-root heap-site totals of the sgfs-vet
+//     alloc-hotpath census (the numbers the CI alloc budget gates).
+//
+// The census is a conservative upper bound on the runtime counts, so
+// a run where allocs/op exceeds its root's heap sites indicates an
+// analyzer gap, not a code regression.
+//
+// Usage:
+//
+//	sgfs-bench6                      # full run, BENCH_6.json
+//	sgfs-bench6 -benchtime 1x        # CI smoke scale
+//	sgfs-bench6 -out /tmp/bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/benchparse"
+)
+
+// packages lists where the allocation-sensitive benchmarks live; the
+// flush sweep and paper-figure suites have their own commands
+// (sgfs-bench5, sgfs-bench).
+var packages = []string{
+	"./internal/oncrpc",
+	"./internal/securechan",
+}
+
+// censusSummary is the static half of the report, distilled from the
+// sgfs-vet -alloc-census output.
+type censusSummary struct {
+	Roots          json.RawMessage `json:"roots"`
+	TotalHeapSites int             `json:"total_heap_sites"`
+}
+
+func main() {
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	pattern := flag.String("bench", "CallEcho|SealOpen", "go test -bench pattern")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	flag.Parse()
+
+	var results []benchparse.Result
+	for _, pkg := range packages {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", *pattern, "-benchtime", *benchtime, "-benchmem", pkg)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sgfs-bench6: %s: %v\n%s", pkg, err, outBytes)
+			os.Exit(1)
+		}
+		results = append(results, benchparse.Parse(pkg, string(outBytes))...)
+	}
+
+	census, err := runCensus()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgfs-bench6: %v\n", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(map[string]any{
+		"benchtime":    *benchtime,
+		"results":      results,
+		"alloc_census": census,
+	}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgfs-bench6: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0644); err != nil {
+		fmt.Fprintf(os.Stderr, "sgfs-bench6: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sgfs-bench6: wrote %d results + %d census heap sites to %s\n",
+		len(results), census.TotalHeapSites, *out)
+}
+
+// runCensus shells out to sgfs-vet so the census logic stays in one
+// place, then distills the per-root totals.
+func runCensus() (*censusSummary, error) {
+	cmd := exec.Command("go", "run", "./cmd/sgfs-vet", "-alloc-census")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("alloc census: %w", err)
+	}
+	var rep struct {
+		Roots json.RawMessage   `json:"roots"`
+		Sites []json.RawMessage `json:"sites"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		return nil, fmt.Errorf("alloc census: %w", err)
+	}
+	return &censusSummary{Roots: rep.Roots, TotalHeapSites: len(rep.Sites)}, nil
+}

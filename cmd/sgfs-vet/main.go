@@ -7,6 +7,8 @@
 //
 //	sgfs-vet [-C dir] [-ignore file] [-run a,b] [-all] [-json] [-timing] [-prune] [-<analyzer>=false ...] [pattern ...]
 //	sgfs-vet -annotate report.json [-budget 120s]
+//	sgfs-vet -alloc-census            # print the hot-path alloc census as JSON
+//	sgfs-vet -alloc-budget [-alloc-baseline file]
 //
 // Patterns are package directories relative to the module root;
 // `./...` (the default) walks the whole module. Every analyzer has an
@@ -18,7 +20,16 @@
 // per-analyzer wall-time breakdown on stderr. -prune rewrites the
 // allowlist dropping the stale lines a full run detects.
 //
-// The second form turns a previously captured -json report into
+// The census forms drive the allocation budget of the alloc-hotpath
+// analyzer: -alloc-census prints the current census of heap-escaping
+// allocation sites reachable from //sgfsvet:hot-path roots (redirect
+// it to .sgfsvet-allocs.json to refresh the committed baseline);
+// -alloc-budget recomputes the census and compares it against the
+// baseline, exiting 1 when any (file, function, kind) bucket or
+// per-root total grew — the CI gate that keeps hot paths from quietly
+// regaining allocations.
+//
+// The -annotate form turns a previously captured -json report into
 // GitHub Actions workflow-command annotations (::error for findings,
 // ::warning for stale allowlist lines) so findings surface inline on
 // pull requests; with -budget it also fails when the report's total
@@ -89,6 +100,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		prune      = fs.Bool("prune", false, "rewrite the allowlist dropping stale entries (requires a full run)")
 		annotate   = fs.String("annotate", "", "emit GitHub Actions annotations from a -json report file and exit")
 		budget     = fs.Duration("budget", 0, "with -annotate: fail when the report's total analysis time exceeds this")
+
+		allocCensus   = fs.Bool("alloc-census", false, "print the hot-path allocation census as JSON and exit")
+		allocBudget   = fs.Bool("alloc-budget", false, "compare the census against the committed baseline and exit 1 on growth")
+		allocBaseline = fs.String("alloc-baseline", "", "baseline file for -alloc-budget (default <module>/.sgfsvet-allocs.json)")
 	)
 	all := vet.DefaultAnalyzers()
 	enabled := make(map[string]*bool, len(all))
@@ -143,6 +158,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if loadErrors > 0 {
 		return 2
+	}
+
+	if *allocCensus || *allocBudget {
+		return runAllocCensus(pkgs, moduleRoot, *allocCensus, *allocBaseline, stdout, stderr)
 	}
 
 	allEnabled := true
@@ -285,6 +304,49 @@ func plural(n int, one, many string) string {
 		return one
 	}
 	return many
+}
+
+// runAnnotate replays a -json report as GitHub Actions workflow
+// runAllocCensus implements -alloc-census (census=true: print the
+// fresh census as JSON) and -alloc-budget (census=false: diff the
+// fresh census against the committed baseline). Both need the full
+// module loaded so the call graph sees every hot function.
+func runAllocCensus(pkgs []*vet.Package, moduleRoot string, census bool, baselinePath string, stdout, stderr io.Writer) int {
+	rep := vet.AllocCensus(pkgs, moduleRoot)
+	if rep == nil {
+		fmt.Fprintln(stderr, "sgfs-vet: no //sgfsvet:hot-path roots in the loaded packages")
+		return 2
+	}
+	if census {
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(stderr, "sgfs-vet:", err)
+			return 2
+		}
+		if _, err := stdout.Write(b); err != nil {
+			fmt.Fprintln(stderr, "sgfs-vet:", err)
+			return 2
+		}
+		return 0
+	}
+	if baselinePath == "" {
+		baselinePath = filepath.Join(moduleRoot, ".sgfsvet-allocs.json")
+	}
+	baseline, err := vet.LoadAllocBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgfs-vet:", err)
+		return 2
+	}
+	problems := vet.CompareAllocBudget(baseline, rep)
+	for _, p := range problems {
+		fmt.Fprintln(stdout, "sgfs-vet: alloc budget:", p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(stderr, "sgfs-vet: alloc budget: %d problem%s; fix the allocation or refresh %s with -alloc-census\n",
+			len(problems), plural(len(problems), "", "s"), filepath.Base(baselinePath))
+		return 1
+	}
+	return 0
 }
 
 // runAnnotate replays a -json report as GitHub Actions workflow

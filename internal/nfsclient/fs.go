@@ -575,6 +575,7 @@ func (fs *FileSystem) insertClean(ctx context.Context, fh nfs3.FH3, block uint64
 	}
 }
 
+//sgfsvet:hot-path
 func (fs *FileSystem) writeBackBlock(ctx context.Context, b *cacheBlock) {
 	fh := nfs3.FH3{Data: []byte(b.key.fh)}
 	off := b.key.block * uint64(fs.opt.BlockSize)
@@ -668,6 +669,8 @@ const prefetchTimeout = 30 * time.Second
 // unboundedly — when the prefetch pool is saturated; the foreground
 // read path fetches on demand anyway, through the same single-flight
 // group, so a dropped hint costs latency, not correctness.
+//
+//sgfsvet:hot-path
 func (fs *FileSystem) maybeReadahead(fh nfs3.FH3, block, size uint64) {
 	if fs.opt.Readahead <= 0 || fs.prefetch == nil {
 		return

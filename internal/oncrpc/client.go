@@ -46,7 +46,7 @@ type Client struct {
 	writeMu sync.Mutex // serializes record writes
 
 	mu      sync.Mutex
-	pending map[uint32]chan []byte
+	pending map[uint32]chan *[]byte
 	err     error // sticky transport error
 	closed  bool
 	done    chan struct{} // closed when the client fails or is closed
@@ -69,7 +69,7 @@ func NewClient(conn net.Conn, prog, vers uint32) *Client {
 		prog:    prog,
 		vers:    vers,
 		conn:    conn,
-		pending: make(map[uint32]chan []byte),
+		pending: make(map[uint32]chan *[]byte),
 		cred:    AuthNone,
 		done:    make(chan struct{}),
 	}
@@ -137,15 +137,25 @@ func (c *Client) fail(err error) error {
 	return err
 }
 
+// readLoop delivers reply records to waiting callers.
+//
+//sgfsvet:hot-path
 func (c *Client) readLoop() {
-	buf := recGet()
+	var hdr [4]byte // per-connection readRecord header scratch
 	for {
-		rec, err := readRecord(c.conn, buf)
+		// Each iteration owns one pooled record buffer: recycled here on
+		// the error and unsolicited-reply paths, or by the waiter after
+		// it decodes the record.
+		bp := recGet()
+		rec, err := readRecord(c.conn, (*bp)[:0], &hdr)
 		if err != nil {
+			recPut(bp)
 			c.fail(&TransportError{Err: fmt.Errorf("read: %w", err)})
 			return
 		}
+		*bp = rec
 		if len(rec) < 4 {
+			recPut(bp)
 			c.fail(&TransportError{Err: errors.New("short reply record")})
 			return
 		}
@@ -158,14 +168,13 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if !ok {
 			// Unsolicited reply (e.g. for a call abandoned on context
-			// cancellation): drop it and reuse the buffer.
-			buf = rec
+			// cancellation): drop it and recycle the buffer.
+			recPut(bp)
 			continue
 		}
-		// Hand ownership of rec to the waiter, which recycles it into
-		// recPool after decoding; take a pooled buffer for the next read.
-		ch <- rec
-		buf = recGet()
+		// Hand ownership of the record (still boxed in its pool pointer)
+		// to the waiter, which recycles it into recPool after decoding.
+		ch <- bp
 	}
 }
 
@@ -178,6 +187,8 @@ func (c *Client) Call(ctx context.Context, proc uint32, args xdr.Marshaler, repl
 // the matching reply arrives, the context is done, or the transport
 // fails. args may be nil for void procedures; reply may be nil when the
 // result body is void or should be discarded.
+//
+//sgfsvet:hot-path
 func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, args xdr.Marshaler, reply xdr.Unmarshaler) error {
 	xid := c.xid.Add(1)
 
@@ -195,7 +206,7 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 	}
 
 	if cb.ch == nil {
-		cb.ch = make(chan []byte, 1)
+		cb.ch = make(chan *[]byte, 1)
 	}
 	ch := cb.ch
 	c.mu.Lock()
@@ -209,7 +220,7 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeRecord(c.conn, cb.body.Bytes())
+	err := writeRecord(c.conn, cb.body.Bytes(), &cb.whdr)
 	c.writeMu.Unlock()
 	if err != nil {
 		// fail closed ch (along with every other pending channel), so it
@@ -220,7 +231,7 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 	}
 
 	select {
-	case rec, ok := <-ch:
+	case bp, ok := <-ch:
 		if !ok {
 			c.mu.Lock()
 			err := c.err
@@ -229,12 +240,12 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 			callBufPool.Put(cb)
 			return err
 		}
-		cb.rbuf.SetBytes(rec)
+		cb.rbuf.SetBytes(*bp)
 		cb.dec.Reset(&cb.rbuf)
 		err := decodeReplyFrom(&cb.dec, reply)
-		// The decoder copies everything out of rec (xdr.Buffer.Read is a
-		// copy), so the record can be recycled as soon as decoding ends.
-		recPut(rec)
+		// The decoder copies everything out of the record (xdr.Buffer.Read
+		// is a copy), so it can be recycled as soon as decoding ends.
+		recPut(bp)
 		cb.rbuf.SetBytes(nil)
 		callBufPool.Put(cb)
 		return err

@@ -21,17 +21,20 @@ const recPoolMax = 128 << 10
 var recPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // recGet returns a pooled record buffer (possibly empty) for
-// readRecord to fill.
-func recGet() []byte { return *recPool.Get().(*[]byte) }
+// readRecord to fill. The *[]byte box travels with the buffer through
+// channels and goroutine handoffs back to recPut, so recycling never
+// re-boxes the slice header (a recPut taking a plain []byte costs one
+// 24-byte allocation per call just to take its address).
+func recGet() *[]byte { return recPool.Get().(*[]byte) }
 
 // recPut recycles a record buffer obtained from recGet, dropping
 // oversized ones.
-func recPut(p []byte) {
-	if cap(p) > recPoolMax {
+func recPut(p *[]byte) {
+	if cap(*p) > recPoolMax {
 		return
 	}
-	p = p[:0]
-	recPool.Put(&p)
+	*p = (*p)[:0]
+	recPool.Put(p)
 }
 
 // callBufs is the per-call scratch state of Client.CallCred: the
@@ -44,23 +47,28 @@ type callBufs struct {
 	enc  xdr.Encoder
 	rbuf xdr.Buffer
 	dec  xdr.Decoder
-	ch   chan []byte
+	ch   chan *[]byte
+	whdr [4]byte // writeRecord fragment-header scratch
 }
 
 var callBufPool = sync.Pool{New: func() any { return new(callBufs) }}
 
-// dispatchBufs is the per-call decode state of Server.dispatch.
+// dispatchBufs is the per-call decode state of Server.dispatch,
+// including the Call value handed to the handler (valid only until the
+// handler returns; see the Call doc comment).
 type dispatchBufs struct {
-	in  xdr.Buffer
-	dec xdr.Decoder
+	in   xdr.Buffer
+	dec  xdr.Decoder
+	call Call
 }
 
 var dispatchBufPool = sync.Pool{New: func() any { return new(dispatchBufs) }}
 
 // replyBufs is the per-reply encode state of Server.reply.
 type replyBufs struct {
-	out xdr.Buffer
-	enc xdr.Encoder
+	out  xdr.Buffer
+	enc  xdr.Encoder
+	whdr [4]byte // writeRecord fragment-header scratch
 }
 
 var replyBufPool = sync.Pool{New: func() any { return new(replyBufs) }}

@@ -33,9 +33,11 @@ const (
 var ErrRecordTooLarge = errors.New("oncrpc: record exceeds maximum size")
 
 // writeRecord writes p as a record-marked message, splitting into
-// multiple fragments when p is large.
-func writeRecord(w io.Writer, p []byte) error {
-	var hdr [4]byte
+// multiple fragments when p is large. hdr is caller-owned scratch for
+// the fragment header: a local [4]byte here would be moved to the heap
+// on every call (it is sliced into an interface Write), so hot paths
+// pass a field of their pooled or connection-scoped state instead.
+func writeRecord(w io.Writer, p []byte, hdr *[4]byte) error {
 	for {
 		n := len(p)
 		last := true
@@ -62,9 +64,11 @@ func writeRecord(w io.Writer, p []byte) error {
 }
 
 // readRecord reads one complete record-marked message, reassembling
-// fragments. The provided buffer is reused when large enough.
-func readRecord(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
+// fragments. The provided buffer is reused when large enough. hdr is
+// caller-owned header scratch, for the same reason as in writeRecord;
+// read loops declare one outside the loop so the escape is paid once
+// per connection rather than once per record.
+func readRecord(r io.Reader, buf []byte, hdr *[4]byte) ([]byte, error) {
 	out := buf[:0]
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {

@@ -383,16 +383,17 @@ func TestServerSurvivesGarbageConnection(t *testing.T) {
 
 func TestRecordMarkingRoundTrip(t *testing.T) {
 	t.Parallel()
+	var hdr [4]byte
 	for _, n := range []int{0, 1, 4, 1000, maxFragmentWrite, maxFragmentWrite + 1, 3 * maxFragmentWrite} {
 		var buf bytes.Buffer
 		p := make([]byte, n)
 		for i := range p {
 			p[i] = byte(i)
 		}
-		if err := writeRecord(&buf, p); err != nil {
+		if err := writeRecord(&buf, p, &hdr); err != nil {
 			t.Fatal(err)
 		}
-		got, err := readRecord(&buf, nil)
+		got, err := readRecord(&buf, nil, &hdr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -408,8 +409,9 @@ func TestRecordMarkingRoundTrip(t *testing.T) {
 func TestRecordTooLarge(t *testing.T) {
 	t.Parallel()
 	var buf bytes.Buffer
+	var hdr [4]byte
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // last fragment, absurd length
-	_, err := readRecord(&buf, nil)
+	_, err := readRecord(&buf, nil, &hdr)
 	if !errors.Is(err, ErrRecordTooLarge) {
 		t.Fatalf("got %v", err)
 	}
@@ -418,8 +420,9 @@ func TestRecordTooLarge(t *testing.T) {
 func TestRecordShortRead(t *testing.T) {
 	t.Parallel()
 	var buf bytes.Buffer
+	var hdr [4]byte
 	buf.Write([]byte{0x80, 0, 0, 8, 1, 2}) // claims 8 bytes, has 2
-	_, err := readRecord(&buf, nil)
+	_, err := readRecord(&buf, nil, &hdr)
 	if err != io.ErrUnexpectedEOF {
 		t.Fatalf("got %v", err)
 	}
@@ -429,10 +432,11 @@ func TestQuickRecordRoundTrip(t *testing.T) {
 	t.Parallel()
 	f := func(p []byte) bool {
 		var buf bytes.Buffer
-		if err := writeRecord(&buf, p); err != nil {
+		var hdr [4]byte
+		if err := writeRecord(&buf, p, &hdr); err != nil {
 			return false
 		}
-		got, err := readRecord(&buf, nil)
+		got, err := readRecord(&buf, nil, &hdr)
 		return err == nil && bytes.Equal(got, p)
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -33,7 +33,10 @@ type Cred struct {
 	Sys    *AuthSys // non-nil iff Flavor == AuthFlavorSys and the body parsed
 }
 
-// Call is one in-flight request presented to a Handler.
+// Call is one in-flight request presented to a Handler. The Call is
+// only valid for the duration of the handler invocation: the server
+// recycles it (and the decoder behind DecodeArgs) once the handler
+// returns, so handlers must copy out anything they need to retain.
 type Call struct {
 	Prog, Vers, Proc uint32
 	Cred             Cred
@@ -200,6 +203,8 @@ func (s *Server) Close() {
 // ServeConn handles RPC traffic on a single established transport
 // until it fails or is closed. It may be invoked directly for
 // transports not produced by a listener (e.g. secure channels).
+//
+//sgfsvet:hot-path
 func (s *Server) ServeConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -212,25 +217,28 @@ func (s *Server) ServeConn(conn net.Conn) {
 	// departed peer can stop instead of running to completion.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	buf := recGet()
+	var hdr [4]byte // per-connection readRecord header scratch
 	for {
-		rec, err := readRecord(conn, buf)
+		// Each iteration owns one pooled record buffer: released here on
+		// the sequential and error paths, or by the dispatch goroutine
+		// once the record is fully consumed (the decoder copies, the
+		// reply is written).
+		bp := recGet()
+		rec, err := readRecord(conn, (*bp)[:0], &hdr)
 		if err != nil {
+			recPut(bp)
 			return // EOF or transport failure; nothing to report to peer
 		}
+		*bp = rec
 		if s.Sequential {
-			buf = rec
 			s.dispatch(ctx, conn, &writeMu, rec)
+			recPut(bp)
 			continue
 		}
-		// The record is fully consumed by the time dispatch returns (the
-		// decoder copies, the reply is written), so the goroutine can
-		// recycle it; take a pooled buffer for the next read.
-		go func() {
-			s.dispatch(ctx, conn, &writeMu, rec)
-			recPut(rec)
-		}()
-		buf = recGet()
+		go func(bp *[]byte) {
+			s.dispatch(ctx, conn, &writeMu, *bp)
+			recPut(bp)
+		}(bp)
 	}
 }
 
@@ -258,7 +266,11 @@ func (s *Server) dispatch(ctx context.Context, conn net.Conn, writeMu *sync.Mute
 		return
 	}
 
-	call := &Call{Prog: hdr.Prog, Vers: hdr.Vers, Proc: hdr.Proc, Conn: conn, args: d}
+	// The Call lives in the pooled dispatch state: handlers only use it
+	// for the duration of the invocation (see the Call doc comment), so
+	// no per-call allocation is needed.
+	call := &db.call
+	*call = Call{Prog: hdr.Prog, Vers: hdr.Vers, Proc: hdr.Proc, Conn: conn, args: d}
 	call.Cred = Cred{Flavor: hdr.Cred.Flavor, Raw: hdr.Cred.Body}
 	if hdr.Cred.Flavor == AuthFlavorSys {
 		var sys AuthSys
@@ -311,11 +323,7 @@ func (s *Server) dispatch(ctx context.Context, conn net.Conn, writeMu *sync.Mute
 		s.accepted(conn, writeMu, hdr.XID, stat, nil)
 		return
 	}
-	s.accepted(conn, writeMu, hdr.XID, Success, func(e *xdr.Encoder) {
-		if result != nil {
-			result.EncodeXDR(e)
-		}
-	})
+	s.acceptedResult(conn, writeMu, hdr.XID, result)
 }
 
 func (s *Server) denyAuth(conn net.Conn, writeMu *sync.Mutex, xid uint32, stat AuthStat) {
@@ -337,6 +345,27 @@ func (s *Server) accepted(conn net.Conn, writeMu *sync.Mutex, xid uint32, stat A
 	})
 }
 
+// acceptedResult writes an accepted Success reply carrying result (nil
+// for void results). It is the hot path of dispatch: unlike accepted
+// it takes the result value directly, so no per-reply closure is
+// allocated. Cold replies (mismatches, denials) keep the closure form.
+func (s *Server) acceptedResult(conn net.Conn, writeMu *sync.Mutex, xid uint32, result xdr.Marshaler) {
+	rb := replyBufPool.Get().(*replyBufs)
+	defer replyBufPool.Put(rb)
+	rb.out.Reset()
+	rb.enc.Reset(&rb.out)
+	e := &rb.enc
+	e.Uint32(xid)
+	e.Uint32(msgReply)
+	e.Uint32(msgAccepted)
+	AuthNone.EncodeXDR(e) // verifier
+	e.Uint32(uint32(Success))
+	if result != nil {
+		result.EncodeXDR(e)
+	}
+	s.flushReply(conn, writeMu, rb)
+}
+
 func (s *Server) reply(conn net.Conn, writeMu *sync.Mutex, xid uint32, body func(*xdr.Encoder)) {
 	rb := replyBufPool.Get().(*replyBufs)
 	defer replyBufPool.Put(rb)
@@ -346,12 +375,18 @@ func (s *Server) reply(conn net.Conn, writeMu *sync.Mutex, xid uint32, body func
 	e.Uint32(xid)
 	e.Uint32(msgReply)
 	body(e)
-	if err := e.Err(); err != nil {
+	s.flushReply(conn, writeMu, rb)
+}
+
+// flushReply writes an encoded reply record to the connection,
+// serialized by the connection's write mutex.
+func (s *Server) flushReply(conn net.Conn, writeMu *sync.Mutex, rb *replyBufs) {
+	if err := rb.enc.Err(); err != nil {
 		s.logf("oncrpc: encode reply: %v", err)
 		return
 	}
 	writeMu.Lock()
-	err := writeRecord(conn, rb.out.Bytes())
+	err := writeRecord(conn, rb.out.Bytes(), &rb.whdr)
 	writeMu.Unlock()
 	if err != nil {
 		s.logf("oncrpc: write reply: %v", err)

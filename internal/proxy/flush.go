@@ -195,6 +195,8 @@ func (p *ClientProxy) clipCrypt(f *flushFile, idx uint64, data []byte) ([]byte, 
 }
 
 // flushBlock pushes one dirty block upstream as an UNSTABLE write.
+//
+//sgfsvet:hot-path
 func (p *ClientProxy) flushBlock(r *flushRun, f *flushFile, idx uint64) {
 	defer f.done(r)
 	dc := p.cfg.DiskCache

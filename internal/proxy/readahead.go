@@ -41,6 +41,8 @@ type blockFetch struct {
 // fetchBlock returns block idx of fh, going upstream at most once no
 // matter how many demand readers and prefetchers ask concurrently.
 // Callers must treat the returned slice as read-only.
+//
+//sgfsvet:hot-path
 func (p *ClientProxy) fetchBlock(ctx context.Context, fh nfs3.FH3, idx uint64, prefetched bool) ([]byte, nfs3.Status) {
 	dc := p.cfg.DiskCache
 	v, err, shared := p.sf.Do(singleflight.Key(fh.Data, idx), func() (blockFetch, error) {

@@ -1468,6 +1468,7 @@ func (rs *replicaSet) acceptCreate(where nfs3.DirOpArgs, out *nfs3.CreateRes) fu
 // normalized so the flush path never tries to settle with COMMIT.
 //
 //sgfsvet:retry-path
+//sgfsvet:hot-path
 func (rs *replicaSet) callWriteFanout(ctx context.Context, a *nfs3.WriteArgs, out *nfs3.WriteRes) error {
 	block := a.Offset / rs.blockSize
 	version := rs.bumpVersion(a.Obj, block)

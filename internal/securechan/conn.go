@@ -35,9 +35,11 @@ const maxFrame = maxRecordPlaintext + 1024
 // by the peer.
 var ErrChannelClosed = errors.New("securechan: channel closed")
 
-// writeFrame writes a [type u8 | len u32 | body] frame.
-func writeFrame(w io.Writer, typ byte, body []byte) error {
-	var hdr [5]byte
+// writeFrame writes a [type u8 | len u32 | body] frame. A local header
+// array would escape to the heap on every call (it is written through
+// the net.Conn interface), so cold paths use it via the writeFrameCold
+// wrapper and the record hot path passes the Conn's scratch header.
+func writeFrame(w io.Writer, typ byte, body []byte, hdr *[5]byte) error {
 	hdr[0] = typ
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -47,9 +49,16 @@ func writeFrame(w io.Writer, typ byte, body []byte) error {
 	return err
 }
 
-// readFrame reads one frame, reusing buf when possible.
-func readFrame(r io.Reader, buf []byte) (byte, []byte, error) {
+// writeFrameCold is writeFrame with per-call header scratch, for
+// handshake and teardown paths where one allocation does not matter.
+func writeFrameCold(w io.Writer, typ byte, body []byte) error {
 	var hdr [5]byte
+	return writeFrame(w, typ, body, &hdr)
+}
+
+// readFrame reads one frame, reusing buf when possible. hdr is
+// caller-owned header scratch, as in writeFrame.
+func readFrame(r io.Reader, buf []byte, hdr *[5]byte) (byte, []byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -85,18 +94,20 @@ type Conn struct {
 	peerChain []*x509.Certificate
 	peerDN    string
 
-	readMu   sync.Mutex
-	rSealer  *sealer
-	rGen     uint32
-	rbuf     []byte // decrypted bytes not yet returned by Read
-	frameBuf []byte
-	rerr     error
+	readMu    sync.Mutex
+	rSealer   *sealer
+	rGen      uint32
+	rbuf      []byte // decrypted bytes not yet returned by Read
+	frameBuf  []byte
+	rFrameHdr [5]byte // readFrame header scratch, guarded by readMu
+	rerr      error
 
-	writeMu  sync.Mutex
-	wSealer  *sealer
-	wGen     uint32
-	wScratch []byte // reusable seal output, guarded by writeMu
-	werr     error
+	writeMu   sync.Mutex
+	wSealer   *sealer
+	wGen      uint32
+	wScratch  []byte  // reusable seal output, guarded by writeMu
+	wFrameHdr [5]byte // writeFrame header scratch, guarded by writeMu
+	werr      error
 
 	closeOnce sync.Once
 
@@ -417,6 +428,8 @@ func (c *Conn) Stats() (in, out, rekeys uint64) {
 }
 
 // Write encrypts and sends p, splitting into records as needed.
+//
+//sgfsvet:hot-path
 func (c *Conn) Write(p []byte) (int, error) {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
@@ -438,7 +451,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 			c.werr = err
 			return total, err
 		}
-		if err := writeFrame(c.raw, recData, rec); err != nil {
+		if err := writeFrame(c.raw, recData, rec, &c.wFrameHdr); err != nil {
 			c.werr = err
 			return total, err
 		}
@@ -455,6 +468,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 }
 
 // Read returns decrypted stream bytes.
+//
+//sgfsvet:hot-path
 func (c *Conn) Read(p []byte) (int, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
@@ -462,7 +477,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		if c.rerr != nil {
 			return 0, c.rerr
 		}
-		typ, body, err := readFrame(c.raw, c.frameBuf)
+		typ, body, err := readFrame(c.raw, c.frameBuf, &c.rFrameHdr)
 		if err != nil {
 			c.rerr = err
 			return 0, err
@@ -526,7 +541,7 @@ func (c *Conn) Rekey() error {
 		c.werr = err
 		return err
 	}
-	if err := writeFrame(c.raw, recRekey, rec); err != nil {
+	if err := writeFrame(c.raw, recRekey, rec, &c.wFrameHdr); err != nil {
 		c.werr = err
 		return err
 	}
@@ -575,7 +590,7 @@ func (c *Conn) Close() error {
 			// peer that has stopped reading cannot block Close.
 			if rec, err := c.wSealer.seal(recClose, nil); err == nil {
 				c.raw.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
-				writeFrame(c.raw, recClose, rec)
+				writeFrame(c.raw, recClose, rec, &c.wFrameHdr)
 				c.raw.SetWriteDeadline(time.Time{})
 			}
 			c.werr = ErrChannelClosed

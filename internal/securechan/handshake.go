@@ -176,14 +176,15 @@ func writeHandshakeMsg(conn net.Conn, v xdr.Marshaler) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(conn, recHandshake, b); err != nil {
+	if err := writeFrameCold(conn, recHandshake, b); err != nil {
 		return nil, err
 	}
 	return b, nil
 }
 
 func readHandshakeMsg(conn net.Conn, v xdr.Unmarshaler) ([]byte, error) {
-	typ, b, err := readFrame(conn, nil)
+	var hdr [5]byte
+	typ, b, err := readFrame(conn, nil, &hdr)
 	if err != nil {
 		return nil, err
 	}

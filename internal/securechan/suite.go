@@ -96,10 +96,13 @@ type sealer struct {
 	block  cipher.Block // AES only
 	seq    uint64
 
-	// h and sum are reused across records so the per-record MAC costs
-	// no allocations; access is serialized with the rest of the sealer.
+	// h, sum, and hdr are reused across records so the per-record MAC
+	// costs no allocations (a local hdr array would be moved to the heap
+	// on every mac call because it is written through the hash.Hash
+	// interface); access is serialized with the rest of the sealer.
 	h   hash.Hash
 	sum [macLen]byte
+	hdr [13]byte
 }
 
 func newSealer(suite Suite, encKey, macKey []byte) (*sealer, error) {
@@ -130,11 +133,10 @@ func newSealer(suite Suite, encKey, macKey []byte) (*sealer, error) {
 // the next mac call.
 func (s *sealer) mac(recType byte, body []byte) []byte {
 	s.h.Reset()
-	var hdr [13]byte
-	binary.BigEndian.PutUint64(hdr[0:8], s.seq)
-	hdr[8] = recType
-	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(body)))
-	s.h.Write(hdr[:])
+	binary.BigEndian.PutUint64(s.hdr[0:8], s.seq)
+	s.hdr[8] = recType
+	binary.BigEndian.PutUint32(s.hdr[9:13], uint32(len(body)))
+	s.h.Write(s.hdr[:])
 	s.h.Write(body)
 	return s.h.Sum(s.sum[:0])
 }

@@ -1,0 +1,206 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureCensus loads the allochotpath fixture and runs the census
+// with paths relativized to the fixture directory.
+func fixtureCensus(t *testing.T) *CensusReport {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", "allochotpath")
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := AllocCensus([]*Package{pkg}, abs)
+	if rep == nil {
+		t.Fatal("census is nil despite a hot-path root in the fixture")
+	}
+	return rep
+}
+
+func TestAllocCensusFixture(t *testing.T) {
+	t.Parallel()
+	rep := fixtureCensus(t)
+	if rep.Schema != AllocCensusSchema {
+		t.Fatalf("schema = %d, want %d", rep.Schema, AllocCensusSchema)
+	}
+	if len(rep.Roots) != 1 {
+		t.Fatalf("roots = %+v, want exactly one", rep.Roots)
+	}
+	root := rep.Roots[0]
+	if root.Root != "allochotpath.process" {
+		t.Fatalf("root name = %q", root.Root)
+	}
+	// process plus the eight helpers it reaches; cold is excluded.
+	if root.Funcs != 9 {
+		t.Errorf("root funcs = %d, want 9", root.Funcs)
+	}
+	if root.HeapSites != len(rep.Sites) {
+		t.Errorf("root heap sites = %d, but census lists %d", root.HeapSites, len(rep.Sites))
+	}
+
+	byKey := make(map[string]AllocSiteRecord)
+	for _, s := range rep.Sites {
+		if s.File != "allochotpath.go" {
+			t.Errorf("site file %q not relativized", s.File)
+		}
+		if len(s.Roots) != 1 || s.Roots[0] != "allochotpath.process" {
+			t.Errorf("site %s:%d roots = %v", s.File, s.Line, s.Roots)
+		}
+		byKey[s.Func+"/"+s.Kind] = s
+	}
+	// The escaping make in the root's loop and the defer record must be
+	// censused; the stack-only scratch and anything in cold must not.
+	if _, ok := byKey["allochotpath.process/"+kindMake]; !ok {
+		t.Errorf("escaping make in process missing from census: %+v", rep.Sites)
+	}
+	if _, ok := byKey["allochotpath.process/"+kindDeferLoop]; !ok {
+		t.Errorf("defer-in-loop site missing from census")
+	}
+	for k := range byKey {
+		if strings.HasPrefix(k, "allochotpath.stackOnly/") {
+			t.Errorf("stack-only scratch censused as heap: %s", k)
+		}
+		if strings.HasPrefix(k, "allochotpath.cold/") {
+			t.Errorf("cold function censused: %s", k)
+		}
+	}
+}
+
+func TestAllocCensusRoundTrip(t *testing.T) {
+	t.Parallel()
+	rep := fixtureCensus(t)
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "allocs.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAllocBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := CompareAllocBudget(loaded, rep); len(problems) != 0 {
+		t.Fatalf("census does not fit its own baseline: %v", problems)
+	}
+}
+
+func TestLoadAllocBaselineSchemaMismatch(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "allocs.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "roots": [], "sites": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAllocBaseline(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("err = %v, want schema mismatch", err)
+	}
+}
+
+func TestCompareAllocBudget(t *testing.T) {
+	t.Parallel()
+	site := func(file, fn, kind string, line int) AllocSiteRecord {
+		return AllocSiteRecord{File: file, Line: line, Func: fn, Kind: kind, Roots: []string{"p.Root"}}
+	}
+	baseline := &CensusReport{
+		Schema: AllocCensusSchema,
+		Roots:  []AllocRootRecord{{Root: "p.Root", Funcs: 2, HeapSites: 3}},
+		Sites: []AllocSiteRecord{
+			site("a.go", "p.f", kindMake, 10),
+			site("a.go", "p.f", kindMake, 20),
+			site("a.go", "p.g", kindFormat, 30),
+		},
+	}
+
+	t.Run("identical", func(t *testing.T) {
+		if p := CompareAllocBudget(baseline, baseline); len(p) != 0 {
+			t.Fatalf("problems = %v", p)
+		}
+	})
+	t.Run("line drift tolerated", func(t *testing.T) {
+		cur := &CensusReport{
+			Schema: AllocCensusSchema,
+			Roots:  []AllocRootRecord{{Root: "p.Root", Funcs: 2, HeapSites: 3}},
+			Sites: []AllocSiteRecord{
+				site("a.go", "p.f", kindMake, 12),
+				site("a.go", "p.f", kindMake, 25),
+				site("a.go", "p.g", kindFormat, 33),
+			},
+		}
+		if p := CompareAllocBudget(baseline, cur); len(p) != 0 {
+			t.Fatalf("problems = %v", p)
+		}
+	})
+	t.Run("bucket growth", func(t *testing.T) {
+		cur := &CensusReport{
+			Schema: AllocCensusSchema,
+			Roots:  []AllocRootRecord{{Root: "p.Root", Funcs: 2, HeapSites: 4}},
+			Sites: append(append([]AllocSiteRecord(nil), baseline.Sites...),
+				site("a.go", "p.f", kindMake, 40)),
+		}
+		p := CompareAllocBudget(baseline, cur)
+		if len(p) != 2 {
+			t.Fatalf("problems = %v, want bucket growth and root growth", p)
+		}
+		if !strings.Contains(p[0], "grew") || !strings.Contains(p[1], "grew") {
+			t.Fatalf("problems = %v", p)
+		}
+	})
+	t.Run("new bucket", func(t *testing.T) {
+		cur := &CensusReport{
+			Schema: AllocCensusSchema,
+			Roots:  []AllocRootRecord{{Root: "p.Root", Funcs: 2, HeapSites: 3}},
+			Sites: []AllocSiteRecord{
+				site("a.go", "p.f", kindMake, 10),
+				site("a.go", "p.f", kindMake, 20),
+				site("b.go", "p.h", kindClosure, 5),
+			},
+		}
+		p := CompareAllocBudget(baseline, cur)
+		if len(p) != 1 || !strings.Contains(p[0], "not in baseline") {
+			t.Fatalf("problems = %v, want one new-bucket report", p)
+		}
+	})
+	t.Run("unknown root", func(t *testing.T) {
+		cur := &CensusReport{
+			Schema: AllocCensusSchema,
+			Roots: []AllocRootRecord{
+				{Root: "p.Root", Funcs: 2, HeapSites: 3},
+				{Root: "p.Other", Funcs: 1, HeapSites: 1},
+			},
+			Sites: baseline.Sites,
+		}
+		p := CompareAllocBudget(baseline, cur)
+		if len(p) != 1 || !strings.Contains(p[0], "p.Other") {
+			t.Fatalf("problems = %v, want unknown-root report", p)
+		}
+	})
+	t.Run("shrink is fine", func(t *testing.T) {
+		cur := &CensusReport{
+			Schema: AllocCensusSchema,
+			Roots:  []AllocRootRecord{{Root: "p.Root", Funcs: 2, HeapSites: 1}},
+			Sites:  []AllocSiteRecord{site("a.go", "p.f", kindMake, 10)},
+		}
+		if p := CompareAllocBudget(baseline, cur); len(p) != 0 {
+			t.Fatalf("problems = %v", p)
+		}
+	})
+}

@@ -36,6 +36,16 @@ func FuzzCFGBuild(f *testing.F) {
 		"for { old := g.Load(); if n <= old || g.CompareAndSwap(old, n) { return } }",
 		"x := pool.Get()\ndefer func() { pool.Put(x) }()\nfor i := range buf { buf[i] = 0 }",
 		"n := atomic.AddUint64(&h.n, 1)\natomic.StoreUint64(&h.gen, atomic.LoadUint64(&h.gen)+n)",
+		// Shapes from the sixth-generation escape analysis: closure
+		// captures, interface boxing, variadic packing, address-taken
+		// locals leaking through fields, and the make+copy grow idiom.
+		"buf := make([]byte, 64)\ngo func() { sink = buf }()\nreturn",
+		"x := 1\nf := func() int { return x }\nh.cb = f",
+		"var i interface{} = n\nlogf(\"%v %d\", i, n)",
+		"grown := make([]byte, len(b), 2*len(b)+64)\ncopy(grown, b)\nb = grown",
+		"v := T{}\np := &v\nfor j := 0; j < n; j++ { s.field = p }",
+		"for { b := make([]byte, 32)\nselect { case ch <- b: default: return } }",
+		"defer close(done)\nfor range ticks { out = append(out, fmt.Sprint(n)...) }",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -249,10 +249,22 @@ func (spec *Spec) assign(st State, lhs ast.Expr, src *Source, merge bool) State 
 	if src != nil {
 		return st.with(obj, src)
 	}
-	if merge {
+	if merge || partialWrite(lhs) {
 		return st
 	}
 	return st.without([]types.Object{obj})
+}
+
+// partialWrite reports whether lhs writes through an index or a
+// dereference. Such a write touches an element or the pointee, not the
+// container variable itself, so a clean RHS must not scrub the
+// container's taint in a may-analysis.
+func partialWrite(lhs ast.Expr) bool {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
 }
 
 // lhsObject resolves the variable or field object an assignment

@@ -40,5 +40,6 @@ func DefaultAnalyzers() []Analyzer {
 		WeakRand{},
 		ResourceLeak{},
 		RetrySafety{},
+		AllocHotPath{},
 	}
 }

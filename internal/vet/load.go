@@ -1,6 +1,6 @@
 // Package vet implements sgfs-vet, a repository-specific static
 // analysis suite built purely on the standard library's go/ast,
-// go/parser and go/types. It carries fifteen analyzers tuned to the
+// go/parser and go/types. It carries sixteen analyzers tuned to the
 // invariants this codebase depends on but the compiler cannot check.
 //
 // Syntactic, per-package:
@@ -59,6 +59,16 @@
 //   - atomic-misuse: no plain reads or writes of locations accessed
 //     via sync/atomic elsewhere, and no Store(Load()+n) lost-update
 //     read-modify-writes.
+//
+// Performance vetting, a conservative escape approximation over the
+// same call graph (sixth generation):
+//
+//   - alloc-hotpath: heap-escaping allocation sites reachable from
+//     //sgfsvet:hot-path roots must not bypass the package's
+//     sync.Pool discipline in loops, register defer records per
+//     iteration, or format in steady-state loops. The full heap-site
+//     census per root backs the CI alloc budget (AllocCensus,
+//     CompareAllocBudget, the committed .sgfsvet-allocs.json).
 //
 // See DESIGN.md ("Static analysis: sgfs-vet") for the full contract
 // and instructions for adding analyzers.

@@ -1,0 +1,123 @@
+// Package allochotpath exercises the hot-path allocation analyzer:
+// heap-escaping allocations inside loops of functions reachable from a
+// //sgfsvet:hot-path root draw findings when they bypass the package's
+// sync.Pool discipline, register defer records per iteration, or
+// format in steady state — while the grow idiom, error paths,
+// closure-scoped defers, synchronization channels, and stack-likely
+// scratch stay silent.
+package allochotpath
+
+import (
+	"fmt"
+	"sync"
+)
+
+// bufPool makes this a pooling package: the pool-bypass rule only
+// applies where an amortization discipline already exists.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+type conn struct {
+	frames [][]byte
+	tag    string
+}
+
+// process is the declared hot-path root; everything it reaches is hot.
+//
+//sgfsvet:hot-path
+func process(c *conn, n int) error {
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 64) // want "allocates on every loop iteration"
+		buf[0] = byte(i)
+		c.frames = append(c.frames, buf) // escapes: stored into a field
+	}
+	for i := 0; i < n; i++ {
+		defer release(c, i) // want "defer inside a loop"
+	}
+	steady(c, n)
+	if err := hotError(n); err != nil {
+		return err
+	}
+	c.frames = append(c.frames, grow(nil, n))
+	signal(n)
+	closureDefer(&sync.Mutex{}, n)
+	_ = stackOnly(n)
+	return nil
+}
+
+func release(c *conn, i int) { c.frames[i] = nil }
+
+// steady formats once per record in steady state — not an error path,
+// so the fmt-in-hot-loop rule fires.
+func steady(c *conn, n int) {
+	for i := 0; i < n; i++ {
+		c.tag = fmt.Sprintf("frame-%d", i) // want "move formatting off the hot loop"
+	}
+}
+
+// hotError only formats on the path that immediately bails out of the
+// function: an error path, not steady state. No finding.
+func hotError(n int) error {
+	for i := 0; i < n; i++ {
+		if i < 0 {
+			return fmt.Errorf("impossible frame %d", i)
+		}
+	}
+	return nil
+}
+
+// grow doubles a buffer with the make+copy idiom: amortized growth,
+// not a per-iteration allocation. No finding.
+func grow(out []byte, n int) []byte {
+	for len(out) < n {
+		grown := make([]byte, len(out)+1, (len(out)+1)*2)
+		copy(grown, out)
+		out = grown
+	}
+	return out
+}
+
+// signal allocates a channel per iteration. A channel is a
+// synchronization primitive, not a poolable buffer. No finding.
+func signal(n int) {
+	for i := 0; i < n; i++ {
+		ready := make(chan struct{})
+		go notify(ready)
+		<-ready
+	}
+}
+
+func notify(ch chan struct{}) { close(ch) }
+
+// closureDefer defers inside a function literal: the closure body is a
+// fresh frame per invocation, so defer records pop each call instead
+// of accumulating in the loop. No finding.
+func closureDefer(mu *sync.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+		}()
+	}
+}
+
+// stackOnly's scratch buffer never escapes: constant-sized and
+// frame-local, the compiler keeps it off the heap. No finding.
+func stackOnly(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		scratch := make([]byte, 32)
+		scratch[0] = byte(i)
+		total += int(scratch[0])
+	}
+	return total
+}
+
+// cold carries the same shapes as process but is unreachable from any
+// hot-path root: allocation findings are scoped to hot code only.
+func cold(c *conn, n int) {
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 64)
+		c.frames = append(c.frames, buf)
+		c.tag = fmt.Sprintf("cold-%d", i)
+	}
+}

@@ -154,6 +154,11 @@ func TestRetrySafety(t *testing.T) {
 	runFixture(t, "retrysafety", RetrySafety{})
 }
 
+func TestAllocHotPath(t *testing.T) {
+	t.Parallel()
+	runFixture(t, "allochotpath", AllocHotPath{})
+}
+
 func TestSecretFlowDeepChain(t *testing.T) {
 	t.Parallel()
 	runFixture(t, "secretchain", SecretFlow{})

@@ -109,7 +109,14 @@ func (e *Encoder) String(s string) {
 	if e.err != nil {
 		return
 	}
-	_, e.err = io.WriteString(e.w, s)
+	// io.WriteString on a writer without WriteString copies s into a
+	// fresh []byte per call; dispatching to the interface directly keeps
+	// Buffer-backed encoders (the RPC hot path) allocation-free.
+	if sw, ok := e.w.(io.StringWriter); ok {
+		_, e.err = sw.WriteString(s)
+	} else {
+		_, e.err = io.WriteString(e.w, s)
+	}
 	if n := len(s) % 4; n != 0 {
 		e.write(pad[:4-n])
 	}
@@ -124,7 +131,11 @@ func (e *Encoder) OptionalBegin(present bool) { e.Bool(present) }
 type Decoder struct {
 	r   io.Reader
 	buf [8]byte
-	err error
+	// scratch is reused by String so each decode costs one allocation
+	// (the string itself) instead of a make + conversion pair. Pooled
+	// decoders keep it across messages; see stringScratchMax.
+	scratch []byte
+	err     error
 }
 
 // NewDecoder returns a Decoder reading from r.
@@ -265,9 +276,35 @@ func (d *Decoder) OpaqueInto(dst []byte) []byte {
 	return p
 }
 
+// stringScratchMax bounds the String scratch buffer a decoder retains:
+// NFS strings are path components and symlink targets, so anything
+// larger is decoded through a one-off buffer rather than pinned in
+// pooled decoders forever.
+const stringScratchMax = 64 << 10
+
 // String decodes an XDR string.
 func (d *Decoder) String() string {
-	return string(d.Opaque())
+	n := d.Uint32()
+	if d.err != nil {
+		return ""
+	}
+	if n > MaxElementSize {
+		d.err = fmt.Errorf("%w: %d bytes", ErrElementTooLarge, n)
+		return ""
+	}
+	p := d.scratch
+	if int(n) > cap(p) {
+		p = make([]byte, n)
+		if n <= stringScratchMax {
+			d.scratch = p
+		}
+	}
+	p = p[:n]
+	d.FixedOpaque(p)
+	if d.err != nil {
+		return ""
+	}
+	return string(p)
 }
 
 // OptionalPresent decodes the presence discriminant of an XDR optional
@@ -285,6 +322,8 @@ type Unmarshaler interface {
 }
 
 // Marshal encodes v into a fresh byte slice.
+//
+//sgfsvet:hot-path
 func Marshal(v Marshaler) ([]byte, error) {
 	var b Buffer
 	e := NewEncoder(&b)
@@ -296,6 +335,8 @@ func Marshal(v Marshaler) ([]byte, error) {
 }
 
 // Unmarshal decodes v from p, requiring that all of p be consumed.
+//
+//sgfsvet:hot-path
 func Unmarshal(p []byte, v Unmarshaler) error {
 	b := Buffer{data: p}
 	d := NewDecoder(&b)
@@ -327,6 +368,13 @@ func (b *Buffer) Len() int { return len(b.data) - b.off }
 func (b *Buffer) Write(p []byte) (int, error) {
 	b.data = append(b.data, p...)
 	return len(p), nil
+}
+
+// WriteString appends s to the buffer without an intermediate []byte
+// copy, satisfying io.StringWriter for Encoder.String's fast path.
+func (b *Buffer) WriteString(s string) (int, error) {
+	b.data = append(b.data, s...)
+	return len(s), nil
 }
 
 // Read reads from the unread portion of the buffer.

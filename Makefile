@@ -45,9 +45,13 @@ fuzz-short:
 # use e.g. BENCHTIME=100x. The paper-figure suite stays in
 # cmd/sgfs-bench.
 BENCHTIME ?= 1x
+# BENCH7FLAGS scales the async-pipeline benchmark; CI overrides it to
+# a smoke scale, full runs use the defaults.
+BENCH7FLAGS ?=
 bench:
 	$(GO) run ./cmd/sgfs-bench5 -benchtime $(BENCHTIME) -out BENCH_5.json
 	$(GO) run ./cmd/sgfs-bench6 -benchtime $(BENCHTIME) -out BENCH_6.json
+	$(GO) run ./cmd/sgfs-bench7 $(BENCH7FLAGS) -out BENCH_7.json
 
 # Recompute the hot-path alloc census and refresh the committed
 # baseline the CI alloc budget compares against.

@@ -1,0 +1,264 @@
+// Command sgfs-bench7 measures the asynchronous RPC core end to end
+// and writes BENCH_7.json for CI to archive. Two experiments:
+//
+//   - metadata: a readdir+stat storm over an emulated WAN (netem on
+//     the proxy link) on the sgfs-aes stack, serial (one Stat RPC
+//     chain at a time, the pre-pipelining client) versus pipelined
+//     (BatchStat through the oncrpc future window). Run at LAN, 40 ms
+//     and 200 ms RTT; the per-RTT speedup is the figure of merit.
+//   - fig7: a Fig-7-style PostMark comparison of SGFS (AES channel,
+//     disk cache, write-back flush counted separately and in the
+//     total) against the in-repo SFS baseline at WAN RTT. SGFS is
+//     expected to match or beat SFS: both pay the same metadata round
+//     trips, but SGFS absorbs data writes into the session disk
+//     cache.
+//
+// Usage:
+//
+//	sgfs-bench7                         # full run, BENCH_7.json
+//	sgfs-bench7 -files 8 -pm-tx 15      # CI smoke scale
+//	sgfs-bench7 -out /tmp/bench.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/vfs"
+)
+
+type metaResult struct {
+	RTTMs       float64 `json:"rtt_ms"`
+	Files       int     `json:"files"`
+	SerialMs    float64 `json:"serial_ms"`
+	PipelinedMs float64 `json:"pipelined_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type postmarkPhases struct {
+	CreationMs    float64 `json:"creation_ms"`
+	TransactionMs float64 `json:"transaction_ms"`
+	DeletionMs    float64 `json:"deletion_ms"`
+	FlushMs       float64 `json:"flush_ms"`
+	TotalMs       float64 `json:"total_ms"` // all phases + flush
+}
+
+type fig7Result struct {
+	RTTMs       float64        `json:"rtt_ms"`
+	Files       int            `json:"files"`
+	Dirs        int            `json:"dirs"`
+	Tx          int            `json:"transactions"`
+	SFS         postmarkPhases `json:"sfs"`
+	SGFSAES     postmarkPhases `json:"sgfs_aes"`
+	SGFSOverSFS float64        `json:"sgfs_over_sfs"` // total ratio; <= 1 means SGFS wins
+}
+
+func main() {
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	files := flag.Int("files", 24, "files in the readdir+stat directory")
+	rtts := flag.String("rtts", "0,40,200", "comma-separated RTTs in ms for the metadata storm")
+	pmFiles := flag.Int("pm-files", 25, "postmark file pool")
+	pmDirs := flag.Int("pm-dirs", 5, "postmark directory pool")
+	pmTx := flag.Int("pm-tx", 40, "postmark transactions")
+	pmRTT := flag.Int("pm-rtt", 40, "postmark WAN RTT in ms")
+	flag.Parse()
+
+	var meta []metaResult
+	for _, f := range strings.Split(*rtts, ",") {
+		ms, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(fmt.Errorf("bad -rtts entry %q: %w", f, err))
+		}
+		r, err := runMeta(time.Duration(ms)*time.Millisecond, *files)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sgfs-bench7: metadata rtt=%dms files=%d serial=%.0fms pipelined=%.0fms speedup=%.1fx\n",
+			ms, r.Files, r.SerialMs, r.PipelinedMs, r.Speedup)
+		meta = append(meta, r)
+	}
+
+	fig7, err := runFig7(time.Duration(*pmRTT)*time.Millisecond, *pmDirs, *pmFiles, *pmTx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sgfs-bench7: fig7 rtt=%dms sfs=%.0fms sgfs-aes=%.0fms (flush %.0fms) ratio=%.2f\n",
+		*pmRTT, fig7.SFS.TotalMs, fig7.SGFSAES.TotalMs, fig7.SGFSAES.FlushMs, fig7.SGFSOverSFS)
+
+	data, err := json.MarshalIndent(map[string]any{
+		"metadata": meta,
+		"fig7":     fig7,
+	}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sgfs-bench7: wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sgfs-bench7: %v\n", err)
+	os.Exit(1)
+}
+
+// metaStack builds a cold sgfs-aes stack whose backend already holds
+// the stat-storm tree. AttrTimeout 1ns means every Stat revalidates on
+// the wire instead of reusing attrs primed by the readdir — the storm
+// the pipelined path exists to compress.
+func metaStack(rtt time.Duration, files int) (*bench.Stack, []string, error) {
+	st, err := bench.BuildStack(bench.StackConfig{
+		Setup:       bench.SetupSGFSAES,
+		RTT:         rtt,
+		DiskCache:   true,
+		AttrTimeout: time.Nanosecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	paths, err := seedMetaTree(st.Backend, files)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return st, paths, nil
+}
+
+// seedMetaTree populates the backend directly (server-side data the
+// client has never seen) with meta/f000..f(n-1).
+func seedMetaTree(backend *vfs.MemFS, n int) ([]string, error) {
+	dirMode, fileMode := uint32(0755), uint32(0644)
+	dh, _, err := backend.Mkdir(backend.Root(), "meta", vfs.SetAttr{Mode: &dirMode})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("f%03d", i)
+		fh, _, err := backend.Create(dh, name, vfs.SetAttr{Mode: &fileMode}, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := backend.Write(fh, 0, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			return nil, err
+		}
+		paths = append(paths, "meta/"+name)
+	}
+	return paths, nil
+}
+
+// runMeta times the readdir+stat storm twice on identical cold
+// stacks: a serial per-path Stat loop, then BatchStat through the
+// pipeline window.
+func runMeta(rtt time.Duration, files int) (metaResult, error) {
+	ctx := context.Background()
+	res := metaResult{RTTMs: float64(rtt) / float64(time.Millisecond), Files: files}
+
+	// Serial baseline.
+	st, paths, err := metaStack(rtt, files)
+	if err != nil {
+		return res, err
+	}
+	nfs := st.FS.(bench.V3FS).FS
+	start := time.Now()
+	if _, err := nfs.ReadDir(ctx, "meta"); err != nil {
+		st.Close()
+		return res, fmt.Errorf("serial readdir: %w", err)
+	}
+	for _, p := range paths {
+		if _, err := nfs.Stat(ctx, p); err != nil {
+			st.Close()
+			return res, fmt.Errorf("serial stat %s: %w", p, err)
+		}
+	}
+	res.SerialMs = float64(time.Since(start)) / float64(time.Millisecond)
+	st.Close()
+
+	// Pipelined run on a fresh, equally cold stack.
+	st, paths, err = metaStack(rtt, files)
+	if err != nil {
+		return res, err
+	}
+	defer st.Close()
+	nfs = st.FS.(bench.V3FS).FS
+	start = time.Now()
+	if _, err := nfs.ReadDir(ctx, "meta"); err != nil {
+		return res, fmt.Errorf("pipelined readdir: %w", err)
+	}
+	for i, r := range nfs.BatchStat(ctx, paths) {
+		if r.Err != nil {
+			return res, fmt.Errorf("batch stat %s: %w", paths[i], r.Err)
+		}
+	}
+	res.PipelinedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	if res.PipelinedMs > 0 {
+		res.Speedup = res.SerialMs / res.PipelinedMs
+	}
+	return res, nil
+}
+
+// runFig7 runs the same scaled PostMark workload on the SFS baseline
+// and on sgfs-aes with the session disk cache, both behind the same
+// WAN RTT. The SGFS flush (write-back push at session end) is timed
+// separately and included in the total, matching how the paper
+// reports Figures 9/10.
+func runFig7(rtt time.Duration, dirs, files, tx int) (fig7Result, error) {
+	res := fig7Result{
+		RTTMs: float64(rtt) / float64(time.Millisecond),
+		Files: files, Dirs: dirs, Tx: tx,
+	}
+	cfg := bench.PostmarkConfig{Directories: dirs, Files: files, Transactions: tx}
+
+	sfs, err := runPostmark(bench.SetupSFS, rtt, false, cfg)
+	if err != nil {
+		return res, fmt.Errorf("sfs postmark: %w", err)
+	}
+	res.SFS = sfs
+
+	sgfs, err := runPostmark(bench.SetupSGFSAES, rtt, true, cfg)
+	if err != nil {
+		return res, fmt.Errorf("sgfs-aes postmark: %w", err)
+	}
+	res.SGFSAES = sgfs
+
+	if res.SFS.TotalMs > 0 {
+		res.SGFSOverSFS = res.SGFSAES.TotalMs / res.SFS.TotalMs
+	}
+	return res, nil
+}
+
+func runPostmark(setup bench.Setup, rtt time.Duration, diskCache bool, cfg bench.PostmarkConfig) (postmarkPhases, error) {
+	var out postmarkPhases
+	st, err := bench.BuildStack(bench.StackConfig{Setup: setup, RTT: rtt, DiskCache: diskCache})
+	if err != nil {
+		return out, err
+	}
+	defer st.Close()
+	ctx := context.Background()
+	pm, err := bench.RunPostmark(ctx, st.FS, cfg)
+	if err != nil {
+		return out, err
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out.CreationMs = ms(pm.Creation)
+	out.TransactionMs = ms(pm.Transaction)
+	out.DeletionMs = ms(pm.Deletion)
+	if st.Flush != nil {
+		start := time.Now()
+		if err := st.Flush(ctx); err != nil {
+			return out, fmt.Errorf("flush: %w", err)
+		}
+		out.FlushMs = ms(time.Since(start))
+	}
+	out.TotalMs = out.CreationMs + out.TransactionMs + out.DeletionMs + out.FlushMs
+	return out, nil
+}

@@ -356,6 +356,22 @@ func (c *DiskCache) DirtyFiles() []nfs3.FH3 {
 	return out
 }
 
+// AttrFiles returns every handle with cached attributes, in no
+// particular order. Revalidation sweeps use it to enumerate what the
+// session believes it knows.
+func (c *DiskCache) AttrFiles() []nfs3.FH3 {
+	var out []nfs3.FH3
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		for key := range s.attrs {
+			out = append(out, nfs3.FH3{Data: []byte(key)})
+		}
+		s.unlock()
+	}
+	return out
+}
+
 // FlushDone marks a block clean after it reached the server.
 func (c *DiskCache) FlushDone(fh nfs3.FH3, idx uint64) {
 	key := string(fh.Data)

@@ -138,6 +138,29 @@ type ChannelStats struct {
 	// DegradedReads counts READ/GETATTR operations served entirely
 	// from the local disk cache while the channel was down.
 	DegradedReads atomic.Uint64
+	// InflightHWM is the high-water mark of concurrently in-flight
+	// calls on the session's transport — the pipelining depth the
+	// workload actually reached.
+	InflightHWM atomic.Uint64
+	// WindowStalls counts asynchronous submissions that had to wait
+	// for a pipeline-window slot (backpressure engaged).
+	WindowStalls atomic.Uint64
+	// OutOfOrder counts replies claimed after a later-submitted call
+	// had already completed — the multiplexed, out-of-order
+	// completions that serial RPC cannot produce.
+	OutOfOrder atomic.Uint64
+}
+
+// NoteInflight raises the in-flight high-water mark to depth if the
+// current mark is lower (same CAS-max shape as DataPathStats
+// EnterFlush).
+func (s *ChannelStats) NoteInflight(depth uint64) {
+	for {
+		old := s.InflightHWM.Load()
+		if depth <= old || s.InflightHWM.CompareAndSwap(old, depth) {
+			return
+		}
+	}
 }
 
 // ChannelSnapshot is a plain-value copy of ChannelStats.
@@ -149,6 +172,9 @@ type ChannelSnapshot struct {
 	NonIdempotentFailures uint64
 	Timeouts              uint64
 	DegradedReads         uint64
+	InflightHWM           uint64
+	WindowStalls          uint64
+	OutOfOrder            uint64
 }
 
 // Snapshot returns a consistent-enough copy of the counters for
@@ -162,6 +188,9 @@ func (s *ChannelStats) Snapshot() ChannelSnapshot {
 		NonIdempotentFailures: s.NonIdempotentFailures.Load(),
 		Timeouts:              s.Timeouts.Load(),
 		DegradedReads:         s.DegradedReads.Load(),
+		InflightHWM:           s.InflightHWM.Load(),
+		WindowStalls:          s.WindowStalls.Load(),
+		OutOfOrder:            s.OutOfOrder.Load(),
 	}
 }
 

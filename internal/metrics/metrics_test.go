@@ -164,6 +164,9 @@ func TestSnapshotRaceHammer(t *testing.T) {
 				ch.Replays.Add(1)
 				ch.Timeouts.Add(1)
 				ch.DegradedReads.Add(1)
+				ch.WindowStalls.Add(1)
+				ch.OutOfOrder.Add(1)
+				ch.NoteInflight(uint64(seed*spins + i + 1))
 
 				dp.EnterFlush()
 				dp.FlushedBlocks.Add(1)
@@ -194,6 +197,10 @@ func TestSnapshotRaceHammer(t *testing.T) {
 				switch {
 				case cs.Disconnects < prevCh.Disconnects || cs.Replays < prevCh.Replays:
 					errc <- fmt.Errorf("channel counters ran backwards: %+v then %+v", prevCh, cs)
+					return
+				case cs.InflightHWM < prevCh.InflightHWM || cs.WindowStalls < prevCh.WindowStalls ||
+					cs.OutOfOrder < prevCh.OutOfOrder:
+					errc <- fmt.Errorf("pipeline counters ran backwards: %+v then %+v", prevCh, cs)
 					return
 				case ds.FlushedBlocks < prevDP.FlushedBlocks || ds.FlushPeak < prevDP.FlushPeak:
 					errc <- fmt.Errorf("data-path counters ran backwards: %+v then %+v", prevDP, ds)
@@ -227,6 +234,11 @@ func TestSnapshotRaceHammer(t *testing.T) {
 	const total = writers * spins
 	if got := ch.Snapshot(); got.Disconnects != total || got.DegradedReads != total {
 		t.Errorf("channel totals = %+v, want %d each", got, total)
+	}
+	// NoteInflight is a CAS-max: the final HWM must be the largest
+	// depth any writer reported, exactly.
+	if got := ch.Snapshot().InflightHWM; got != uint64((writers-1)*spins+spins) {
+		t.Errorf("InflightHWM = %d, want %d", got, (writers-1)*spins+spins)
 	}
 	got := dp.Snapshot()
 	if got.FlushedBlocks != total || got.FlushActive != 0 {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/xdr"
 )
 
@@ -33,11 +34,30 @@ func IsTransportError(err error) bool {
 	return errors.As(err, &te) || errors.Is(err, ErrClientClosed)
 }
 
+// inflight is one outstanding call in the pending table. w is the
+// completion target: a chan *[]byte for a synchronous CallCred waiter
+// (the interface boxing is allocation-free — channels are
+// pointer-shaped) or a *Pending future. seq is the submission order
+// used to detect out-of-order completion.
+type inflight struct {
+	seq uint64
+	w   any
+}
+
+// DefaultWindow is the default bound on asynchronously in-flight
+// calls per connection (see NewClientWindow). Synchronous CallCred
+// does not consume window slots; 64 deep pipelining hides one WAN RTT
+// per 64 metadata ops while capping per-connection buffered state at
+// a few MiB of reply records.
+const DefaultWindow = 64
+
 // Client is a connection-oriented ONC RPC client bound to one program
 // and version on a single transport. It is safe for concurrent use:
 // multiple goroutines may issue calls simultaneously and replies are
 // matched to callers by transaction ID, so the transport is naturally
-// pipelined when callers overlap.
+// pipelined when callers overlap. Go/GoCred additionally expose the
+// pipelining directly as futures, with many in-flight calls per
+// connection and out-of-order completion.
 type Client struct {
 	prog, vers uint32
 
@@ -45,13 +65,24 @@ type Client struct {
 
 	writeMu sync.Mutex // serializes record writes
 
-	mu      sync.Mutex
-	pending map[uint32]chan *[]byte
-	err     error // sticky transport error
-	closed  bool
-	done    chan struct{} // closed when the client fails or is closed
+	mu        sync.Mutex
+	pending   map[uint32]inflight
+	seq       uint64 // submission counter (guarded by mu)
+	lastClaim uint64 // highest seq claimed by readLoop (guarded by mu)
+	err       error  // sticky transport error
+	closed    bool
+	done      chan struct{} // closed when the client fails or is closed
+
+	// window bounds asynchronously in-flight calls (Go/GoCred):
+	// submissions acquire a slot, completions release it. Nil means
+	// unbounded.
+	window chan struct{}
 
 	xid atomic.Uint32
+
+	// stats, when set, accumulates pipelining counters (in-flight
+	// high-water mark, window stalls, out-of-order completions).
+	stats atomic.Pointer[metrics.ChannelStats]
 
 	// Cred supplies the credential attached to each call. Nil means
 	// AUTH_NONE. It may be swapped with SetCred while calls are in
@@ -62,21 +93,37 @@ type Client struct {
 }
 
 // NewClient wraps an established transport as an RPC client for the
-// given program and version. The client owns the connection and closes
-// it on Close or transport error.
+// given program and version with the default async window. The client
+// owns the connection and closes it on Close or transport error.
 func NewClient(conn net.Conn, prog, vers uint32) *Client {
+	return NewClientWindow(conn, prog, vers, DefaultWindow)
+}
+
+// NewClientWindow is NewClient with an explicit bound on
+// asynchronously in-flight calls (the pipeline window). Go/GoCred
+// block for a free slot when the window is full; depth <= 0 disables
+// the bound. Synchronous Call/CallCred are not windowed — their
+// callers already rate-limit themselves by blocking per call.
+func NewClientWindow(conn net.Conn, prog, vers uint32, depth int) *Client {
 	c := &Client{
 		prog:    prog,
 		vers:    vers,
 		conn:    conn,
-		pending: make(map[uint32]chan *[]byte),
+		pending: make(map[uint32]inflight),
 		cred:    AuthNone,
 		done:    make(chan struct{}),
+	}
+	if depth > 0 {
+		c.window = make(chan struct{}, depth)
 	}
 	c.xid.Store(rand.Uint32())
 	go c.readLoop()
 	return c
 }
+
+// SetStats installs the counter sink for pipelining metrics. Safe to
+// call concurrently with in-flight calls; nil detaches.
+func (c *Client) SetStats(s *metrics.ChannelStats) { c.stats.Store(s) }
 
 // Done returns a channel closed when the client stops working —
 // transport failure or Close. Err then reports why.
@@ -131,10 +178,57 @@ func (c *Client) fail(err error) error {
 	close(c.done)
 	c.mu.Unlock()
 	c.conn.Close()
-	for _, ch := range pend {
-		close(ch)
+	for _, inf := range pend {
+		switch w := inf.w.(type) {
+		case chan *[]byte:
+			close(w)
+		case *Pending:
+			w.deliverErr(err)
+		}
 	}
 	return err
+}
+
+// registerPending installs w as xid's completion target and returns
+// nil, or returns the sticky error of a dead client. It also
+// maintains the in-flight depth high-water mark.
+func (c *Client) registerPending(xid uint32, w any) error {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.seq++
+	c.pending[xid] = inflight{seq: c.seq, w: w}
+	depth := len(c.pending)
+	c.mu.Unlock()
+	if s := c.stats.Load(); s != nil {
+		s.NoteInflight(uint64(depth))
+	}
+	return nil
+}
+
+// abandonPending removes xid's pending-table entry on behalf of a
+// caller walking away from the call — CallCred's context-cancel and
+// write-error paths, and Pending.Cancel. It reports whether a late
+// delivery may still reach the call's completion target: false when
+// this caller removed the entry itself (no reply can ever be
+// delivered), true when the entry was already gone — claimed by the
+// readLoop, or torn down wholesale by fail. The "late record must not
+// leak into an unrelated call" invariant lives here: when this
+// returns true, any completion target a late delivery or fail could
+// still touch (the sync reply channel) must be abandoned rather than
+// recycled for a later call. Futures are immune — their delivery is
+// gated by a state CAS, not channel ownership.
+func (c *Client) abandonPending(xid uint32) (lateDelivery bool) {
+	c.mu.Lock()
+	_, present := c.pending[xid]
+	if present {
+		delete(c.pending, xid)
+	}
+	c.mu.Unlock()
+	return !present
 }
 
 // readLoop delivers reply records to waiting callers.
@@ -161,9 +255,18 @@ func (c *Client) readLoop() {
 		}
 		xid := uint32(rec[0])<<24 | uint32(rec[1])<<16 | uint32(rec[2])<<8 | uint32(rec[3])
 		c.mu.Lock()
-		ch, ok := c.pending[xid]
+		inf, ok := c.pending[xid]
+		outOfOrder := false
 		if ok {
 			delete(c.pending, xid)
+			// A reply claiming an earlier submission than one already
+			// claimed means the transport completed calls out of order —
+			// the pipelining the future API exists to exploit.
+			if inf.seq < c.lastClaim {
+				outOfOrder = true
+			} else {
+				c.lastClaim = inf.seq
+			}
 		}
 		c.mu.Unlock()
 		if !ok {
@@ -172,9 +275,23 @@ func (c *Client) readLoop() {
 			recPut(bp)
 			continue
 		}
-		// Hand ownership of the record (still boxed in its pool pointer)
-		// to the waiter, which recycles it into recPool after decoding.
-		ch <- bp
+		if outOfOrder {
+			if s := c.stats.Load(); s != nil {
+				s.OutOfOrder.Add(1)
+			}
+		}
+		switch w := inf.w.(type) {
+		case chan *[]byte:
+			// Hand ownership of the record (still boxed in its pool
+			// pointer) to the waiter, which recycles it into recPool
+			// after decoding.
+			w <- bp
+		case *Pending:
+			// Futures decode here on the readLoop: metadata replies are
+			// small, and decoding in place lets Done() mean "reply is
+			// ready", not "reply has been scheduled".
+			w.deliver(bp)
+		}
 	}
 }
 
@@ -209,23 +326,20 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 		cb.ch = make(chan *[]byte, 1)
 	}
 	ch := cb.ch
-	c.mu.Lock()
-	if c.closed {
-		err := c.err
-		c.mu.Unlock()
+	if err := c.registerPending(xid, ch); err != nil {
 		callBufPool.Put(cb)
 		return err
 	}
-	c.pending[xid] = ch
-	c.mu.Unlock()
 
 	c.writeMu.Lock()
 	err := writeRecord(c.conn, cb.body.Bytes(), &cb.whdr)
 	c.writeMu.Unlock()
 	if err != nil {
-		// fail closed ch (along with every other pending channel), so it
-		// must not be reused for a later call.
-		cb.ch = nil
+		// fail closes ch unless we removed the entry first; either way
+		// abandonPending decides whether ch may still be touched.
+		if c.abandonPending(xid) {
+			cb.ch = nil
+		}
 		callBufPool.Put(cb)
 		return c.fail(&TransportError{Err: fmt.Errorf("write: %w", err)})
 	}
@@ -250,14 +364,12 @@ func (c *Client) CallCred(ctx context.Context, proc uint32, cred OpaqueAuth, arg
 		callBufPool.Put(cb)
 		return err
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, xid)
-		c.mu.Unlock()
-		// The readLoop may already have claimed the pending entry and be
-		// about to deliver into ch; abandoning the channel (rather than
-		// pooling it) keeps that late record from leaking into an
-		// unrelated future call.
-		cb.ch = nil
+		if c.abandonPending(xid) {
+			// The readLoop claimed the entry (or fail tore the table
+			// down) and may still deliver into or close ch: abandon the
+			// channel rather than pooling it.
+			cb.ch = nil
+		}
 		callBufPool.Put(cb)
 		return ctx.Err()
 	}

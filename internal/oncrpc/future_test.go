@@ -1,0 +1,250 @@
+package oncrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// dialTestRaw dials the test server returning both the client and the
+// raw conn, so tests can kill the transport out from under the client.
+func dialTestRaw(t *testing.T, addr net.Addr, window int) (*Client, net.Conn) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClientWindow(conn, testProg, testVers, window)
+	t.Cleanup(func() { c.Close() })
+	return c, conn
+}
+
+func TestGoOutOfOrderCompletion(t *testing.T) {
+	t.Parallel()
+	_, addr := newTestServer(t)
+	c := dialTest(t, addr)
+	var stats metrics.ChannelStats
+	c.SetStats(&stats)
+	ctx := context.Background()
+
+	// Submit a slow call first, then a fast one on the same pipe. The
+	// fast reply must complete while the slow call is still in flight.
+	var slowOut u32
+	slow := c.Go(ctx, procSlow, nil, &slowOut)
+	var echoOut echoArgs
+	echo := c.Go(ctx, procEcho, &echoArgs{S: "overtake"}, &echoOut)
+
+	if err := echo.Wait(ctx); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	if echoOut.S != "overtake" {
+		t.Fatalf("echo reply %q", echoOut.S)
+	}
+	if err := slow.Err(); err != ErrInFlight {
+		t.Fatalf("slow settled before its 50ms sleep: %v", err)
+	}
+	if err := slow.Wait(ctx); err != nil {
+		t.Fatalf("slow: %v", err)
+	}
+	if slowOut.V != 1 {
+		t.Fatalf("slow reply %d", slowOut.V)
+	}
+	snap := stats.Snapshot()
+	if snap.OutOfOrder == 0 {
+		t.Fatalf("no out-of-order completion counted: %+v", snap)
+	}
+	if snap.InflightHWM < 2 {
+		t.Fatalf("in-flight high-water mark %d, want >= 2", snap.InflightHWM)
+	}
+}
+
+func TestGoCancelLateReplyNoCrossTalk(t *testing.T) {
+	t.Parallel()
+	_, addr := newTestServer(t)
+	c := dialTest(t, addr)
+	ctx := context.Background()
+
+	// Cancel a slow call immediately; its reply arrives ~50ms later,
+	// after the pooled call state has been recycled into later calls.
+	var slowOut u32
+	p := c.Go(ctx, procSlow, nil, &slowOut)
+	p.Cancel()
+	select {
+	case <-p.Done():
+	case <-time.After(time.Second):
+		t.Fatal("cancelled future never settled")
+	}
+	if !errors.Is(p.Err(), context.Canceled) {
+		t.Fatalf("Err after Cancel: %v", p.Err())
+	}
+
+	// Storm the connection with distinct calls (reusing the pooled
+	// callBufs) while the late reply lands: every reply must match its
+	// own call, and nothing may decode into the cancelled call's
+	// target.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				want := fmt.Sprintf("g%d-i%d", g, i)
+				var out echoArgs
+				if err := c.Go(ctx, procEcho, &echoArgs{S: want}, &out).Wait(ctx); err != nil {
+					t.Errorf("echo %s: %v", want, err)
+					return
+				}
+				if out.S != want {
+					t.Errorf("cross-talk: sent %q got %q", want, out.S)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	time.Sleep(80 * time.Millisecond) // let the late reply land
+	if slowOut.V != 0 {
+		t.Fatalf("late reply decoded into a cancelled call's target: %d", slowOut.V)
+	}
+}
+
+func TestGoTransportFailureFailsAllInflight(t *testing.T) {
+	t.Parallel()
+	_, addr := newTestServer(t)
+	c, conn := dialTestRaw(t, addr, DefaultWindow)
+	ctx := context.Background()
+
+	var outs [4]u32
+	var futures [4]*Pending
+	for i := range futures {
+		futures[i] = c.Go(ctx, procSlow, nil, &outs[i])
+	}
+	conn.Close() // kill the transport with all four in flight
+	for i, p := range futures {
+		if err := p.Wait(ctx); !IsTransportError(err) {
+			t.Fatalf("future %d: want transport error, got %v", i, err)
+		}
+	}
+}
+
+func TestGoWindowBackpressure(t *testing.T) {
+	t.Parallel()
+	_, addr := newTestServer(t)
+	c, _ := dialTestRaw(t, addr, 2)
+	var stats metrics.ChannelStats
+	c.SetStats(&stats)
+	ctx := context.Background()
+
+	var outs [6]u32
+	var futures [6]*Pending
+	for i := range futures {
+		futures[i] = c.Go(ctx, procSlow, nil, &outs[i])
+	}
+	for i, p := range futures {
+		if err := p.Wait(ctx); err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if outs[i].V != 1 {
+			t.Fatalf("future %d reply %d", i, outs[i].V)
+		}
+	}
+	snap := stats.Snapshot()
+	if snap.WindowStalls == 0 {
+		t.Fatalf("6 async calls through a window of 2 never stalled: %+v", snap)
+	}
+	if snap.InflightHWM > 2 {
+		t.Fatalf("window of 2 exceeded: in-flight HWM %d", snap.InflightHWM)
+	}
+}
+
+func TestGoWaitContextCancelsCall(t *testing.T) {
+	t.Parallel()
+	_, addr := newTestServer(t)
+	c := dialTest(t, addr)
+
+	var out u32
+	p := c.Go(context.Background(), procSlow, nil, &out)
+	if err := p.Err(); err != ErrInFlight {
+		t.Fatalf("Err before completion: %v", err)
+	}
+	wctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := p.Wait(wctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait past deadline: %v", err)
+	}
+	if err := p.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("future not cancelled after Wait deadline: %v", err)
+	}
+}
+
+func TestReconnectGoNonIdempotentRefused(t *testing.T) {
+	t.Parallel()
+	h := newReconnectHarness(t, ReconnectOpts{Idempotent: isIdem})
+	ctx := context.Background()
+
+	if err := h.rc.Call(ctx, procEcho, &echoArgs{S: "warm"}, &echoArgs{}); err != nil {
+		t.Fatal(err)
+	}
+	// procSlow is not idempotent under isIdem: start it as a future,
+	// cut the link mid-flight, and the future must refuse replay.
+	var out u32
+	p := h.rc.Go(ctx, procSlow, nil, &out)
+	time.Sleep(10 * time.Millisecond) // let the call reach the wire
+	h.cutLive()
+	err := p.Wait(ctx)
+	if !errors.Is(err, ErrNonIdempotentReplay) {
+		t.Fatalf("want ErrNonIdempotentReplay, got %v", err)
+	}
+	if got := h.stats.Snapshot().NonIdempotentFailures; got == 0 {
+		t.Fatalf("NonIdempotentFailures stayed zero")
+	}
+}
+
+func TestReconnectGoIdempotentReplay(t *testing.T) {
+	t.Parallel()
+	h := newReconnectHarness(t, ReconnectOpts{Idempotent: func(uint32) bool { return true }})
+	ctx := context.Background()
+
+	if err := h.rc.Call(ctx, procEcho, &echoArgs{S: "warm"}, &echoArgs{}); err != nil {
+		t.Fatal(err)
+	}
+	var out u32
+	p := h.rc.Go(ctx, procSlow, nil, &out)
+	time.Sleep(10 * time.Millisecond)
+	h.cutLive()
+	if err := p.Wait(ctx); err != nil {
+		t.Fatalf("idempotent future not replayed: %v", err)
+	}
+	if out.V != 1 {
+		t.Fatalf("replayed reply %d", out.V)
+	}
+	snap := h.stats.Snapshot()
+	if snap.Replays == 0 {
+		t.Fatalf("Replays stayed zero: %+v", snap)
+	}
+}
+
+func TestReconnectGoCancel(t *testing.T) {
+	t.Parallel()
+	h := newReconnectHarness(t, ReconnectOpts{Idempotent: isIdem})
+	ctx := context.Background()
+
+	var out u32
+	p := h.rc.Go(ctx, procSlow, nil, &out)
+	time.Sleep(5 * time.Millisecond)
+	p.Cancel()
+	select {
+	case <-p.Done():
+	case <-time.After(time.Second):
+		t.Fatal("cancelled reconnect future never settled")
+	}
+	if err := p.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err after Cancel: %v", err)
+	}
+}

@@ -110,6 +110,7 @@ type ReconnectClient struct {
 func NewReconnectClient(initial *Client, factory SessionFactory, opts ReconnectOpts) *ReconnectClient {
 	r := &ReconnectClient{factory: factory, opts: opts, cur: initial}
 	if initial != nil {
+		initial.SetStats(opts.Stats)
 		r.gen = 1
 		r.watch(initial, r.gen)
 	}
@@ -187,6 +188,7 @@ func (r *ReconnectClient) session(ctx context.Context) (*Client, uint64, error) 
 				cl.Close()
 				return nil, 0, ErrClientClosed
 			}
+			cl.SetStats(r.opts.Stats)
 			r.cur = cl
 			r.gen++
 			r.watch(cl, r.gen)
@@ -285,6 +287,57 @@ func (r *ReconnectClient) CallCred(ctx context.Context, proc uint32, cred Opaque
 }
 
 func (r *ReconnectClient) call(ctx context.Context, proc uint32, cred *OpaqueAuth, args xdr.Marshaler, reply xdr.Unmarshaler) error {
+	return r.do(ctx, proc, func(actx context.Context, cl *Client) error {
+		if cred != nil {
+			return cl.CallCred(actx, proc, *cred, args, reply)
+		}
+		return cl.Call(actx, proc, args, reply)
+	})
+}
+
+// Go issues proc asynchronously under the session's default
+// credential, returning a future. See GoCred.
+func (r *ReconnectClient) Go(ctx context.Context, proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) *Pending {
+	return r.goCred(ctx, proc, nil, args, reply)
+}
+
+// GoCred is the future form of CallCred: the returned Pending settles
+// when the call completes, the idempotency-classified replay budget is
+// exhausted, or the future is cancelled. Replay discipline is applied
+// per future — a transport failure with a non-idempotent future in
+// flight settles that future with ErrNonIdempotentReplay while
+// idempotent siblings replay transparently on the fresh session. Each
+// attempt submits through the session client's pipeline window, so a
+// storm of reconnect-layer futures gets the same bounded in-flight
+// backpressure as direct ones.
+func (r *ReconnectClient) GoCred(ctx context.Context, proc uint32, cred OpaqueAuth, args xdr.Marshaler, reply xdr.Unmarshaler) *Pending {
+	return r.goCred(ctx, proc, &cred, args, reply)
+}
+
+func (r *ReconnectClient) goCred(ctx context.Context, proc uint32, cred *OpaqueAuth, args xdr.Marshaler, reply xdr.Unmarshaler) *Pending {
+	cctx, cancel := context.WithCancel(ctx)
+	p := &Pending{done: make(chan struct{}), cancelFn: cancel}
+	go func() {
+		defer cancel()
+		p.err = r.do(cctx, proc, func(actx context.Context, cl *Client) error {
+			var inner *Pending
+			if cred != nil {
+				inner = cl.GoCred(actx, proc, *cred, args, reply)
+			} else {
+				inner = cl.Go(actx, proc, args, reply)
+			}
+			return inner.Wait(actx)
+		})
+		close(p.done)
+	}()
+	return p
+}
+
+// do runs the session/replay loop around one call attempt: issue is
+// invoked with the current session client and a per-attempt context,
+// and transport failures trigger reconnection plus replay for
+// idempotent procedures only.
+func (r *ReconnectClient) do(ctx context.Context, proc uint32, issue func(ctx context.Context, cl *Client) error) error {
 	idem := r.opts.Idempotent != nil && r.opts.Idempotent(proc)
 	attempts := r.opts.attempts()
 	var lastErr error
@@ -305,11 +358,7 @@ func (r *ReconnectClient) call(ctx context.Context, proc uint32, cred *OpaqueAut
 		if r.opts.AttemptTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, r.opts.AttemptTimeout)
 		}
-		if cred != nil {
-			err = cl.CallCred(actx, proc, *cred, args, reply)
-		} else {
-			err = cl.Call(actx, proc, args, reply)
-		}
+		err = issue(actx, cl)
 		cancel()
 		if err == nil {
 			return nil

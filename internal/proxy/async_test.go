@@ -1,0 +1,128 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/nfs3"
+	"repro/internal/nfsclient"
+	"repro/internal/vfs"
+)
+
+// TestRevalidateAttrsSweep checks the pipelined attribute
+// revalidation: attrs the session cache holds are re-fetched
+// concurrently, a file changed behind the proxy's back loses its
+// cached blocks, and an unchanged file keeps them.
+func TestRevalidateAttrsSweep(t *testing.T) {
+	t.Parallel()
+	dc := newDiskCache(t)
+	st := buildStack(t, stackOpts{diskCache: dc})
+	fs := st.mount(t, nfsclient.Options{CacheBytes: 1, AttrTimeout: time.Nanosecond})
+	ctx := context.Background()
+
+	payload := bytes.Repeat([]byte("Q"), 64*1024)
+	for _, name := range []string{"steady", "moving"} {
+		f, err := fs.Create(ctx, name, 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(ctx, payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Push write-back data to the server, then sync the cached attrs
+	// with the server's view (the local write stamps mtimes itself, so
+	// the first post-flush sweep legitimately sees them as changed).
+	if err := st.clientProxy.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.clientProxy.RevalidateAttrs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Read both files back so the disk cache holds their blocks clean.
+	for _, name := range []string{"steady", "moving"} {
+		g, err := fs.Open(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(payload))
+		if _, err := g.ReadAt(ctx, buf, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		g.Close(ctx)
+	}
+
+	// A clean sweep: everything cached, nothing changed.
+	checked, changed, err := st.clientProxy.RevalidateAttrs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 2 || changed != 0 {
+		t.Fatalf("clean sweep: checked=%d changed=%d", checked, changed)
+	}
+
+	// Mutate "moving" directly in the backend, bypassing the proxy.
+	mfh, err := lookupBackend(st, "moving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBackend(st, "moving", []byte("rewritten-short")); err != nil {
+		t.Fatal(err)
+	}
+
+	checked, changed, err = st.clientProxy.RevalidateAttrs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 2 {
+		t.Fatalf("sweep checked only %d handles", checked)
+	}
+	if changed != 1 {
+		t.Fatalf("changed = %d, want 1", changed)
+	}
+	if dc.Contains(mfh, 0) {
+		t.Fatal("stale blocks of the changed file survived the sweep")
+	}
+	// The cached attr must now reflect the upstream truth.
+	if a, ok := dc.GetAttr(mfh); !ok || a.Size != uint64(len("rewritten-short")) {
+		t.Fatalf("post-sweep attr = %+v (ok=%v)", a, ok)
+	}
+
+	sfh, err := lookupBackend(st, "steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dc.Contains(sfh, 0) {
+		t.Fatal("unchanged file lost its cached blocks")
+	}
+}
+
+// lookupBackend resolves name against the backend MemFS root,
+// returning the NFS handle the proxies use for it.
+func lookupBackend(st *testStack, name string) (nfs3.FH3, error) {
+	h, _, err := st.backend.Lookup(st.backend.Root(), name)
+	if err != nil {
+		return nfs3.FH3{}, err
+	}
+	return nfs3.FromHandle(h), nil
+}
+
+// writeBackend rewrites name's contents directly in the backend,
+// invisible to the proxy layer (another client's update).
+func writeBackend(st *testStack, name string, data []byte) error {
+	h, _, err := st.backend.Lookup(st.backend.Root(), name)
+	if err != nil {
+		return err
+	}
+	zero := uint64(0)
+	if _, err := st.backend.SetAttr(h, vfs.SetAttr{Size: &zero}); err != nil {
+		return err
+	}
+	return st.backend.Write(h, 0, data)
+}

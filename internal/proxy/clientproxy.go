@@ -97,6 +97,11 @@ type ClientConfig struct {
 	// detected sequential read stream (default 4; negative disables).
 	// Only meaningful with DiskCache set.
 	Readahead int
+	// AsyncWindow bounds how many pipelined (future-API) calls the
+	// upstream session keeps in flight at once; submissions past the
+	// window block until a slot frees (backpressure). Default
+	// oncrpc.DefaultWindow; negative disables the bound.
+	AsyncWindow int
 	// Replication, when non-nil, replaces the single upstream with a
 	// replicated multi-backend namespace: block writes fan out to a
 	// placement-chosen replica set and are acknowledged at quorum,
@@ -257,7 +262,7 @@ func (p *ClientProxy) sessionVia(ctx context.Context, dial Dialer) (*oncrpc.Clie
 		conn.Close()
 		return nil, nfs3.FH3{}, nil, err
 	}
-	return oncrpc.NewClient(conn, nfs3.Program, nfs3.Version), root, conn, nil
+	return oncrpc.NewClientWindow(conn, nfs3.Program, nfs3.Version, p.cfg.asyncWindow()), root, conn, nil
 }
 
 // mountVia issues MOUNT through its own connection via dial and
@@ -566,6 +571,11 @@ func (p *ClientProxy) readdirplus(ctx context.Context, call *oncrpc.Call) (xdr.M
 				dc.PutAttr(e.FH.FH, e.Attr.Attr)
 			}
 		}
+		// Entries still missing attributes (server omitted the post-op
+		// attrs and nothing was cached) are completed with one
+		// concurrent GETATTR gather, so the local client never falls
+		// back to a per-entry stat storm over the WAN.
+		p.fillEntryAttrs(ctx, res.Entries)
 	}
 	return &res, oncrpc.Success
 }
